@@ -1,0 +1,161 @@
+// Package assasin is a simulation library reproducing "ASSASIN:
+// Architecture Support for Stream Computing to Accelerate Computational
+// Storage" (MICRO 2022). It provides:
+//
+//   - Complete computational-SSD models: flash array + FTL + shared DRAM +
+//     crossbar + firmware control plane + compute engines, in all six of
+//     the paper's Table IV configurations (Baseline, UDP, Prefetch,
+//     AssasinSp, AssasinSb, AssasinSb$).
+//   - An ISA-level core simulator (RV32IM-like plus the ASSASIN stream
+//     extension) with a programmatic assembler, so offloaded kernels are
+//     real programs computing real results.
+//   - The paper's offload kernels (Stat, RAID4/6 erasure coding, AES,
+//     Filter/Select, the Parse-Select-Filter database pipeline) in both
+//     stream-ISA and software-managed lowerings.
+//   - A TPC-H substrate (generator, mini relational engine, all 22
+//     queries) and a host model for end-to-end evaluation.
+//   - Experiment harnesses regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quickstart:
+//
+//	drive := assasin.NewSSD(assasin.Options{Arch: assasin.AssasinSb})
+//	lpas, _ := drive.InstallBytes(data)
+//	res, _ := drive.RunKernel(assasin.KernelRun{
+//		Kernel:     assasin.StatKernel(),
+//		Inputs:     [][]int{lpas},
+//		InputBytes: []int64{int64(len(data))},
+//		RecordSize: 4,
+//	})
+//	fmt.Printf("throughput: %.2f GB/s\n", res.Throughput()/1e9)
+package assasin
+
+import (
+	"assasin/internal/experiments"
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+	"assasin/internal/ssd"
+)
+
+// Arch identifies a computational-SSD architecture (Table IV).
+type Arch = ssd.Arch
+
+// The six evaluated configurations.
+const (
+	Baseline       = ssd.Baseline
+	UDP            = ssd.UDP
+	Prefetch       = ssd.Prefetch
+	AssasinSp      = ssd.AssasinSp
+	AssasinSb      = ssd.AssasinSb
+	AssasinSbCache = ssd.AssasinSbCache
+)
+
+// AllArchs lists the configurations in Table IV order.
+func AllArchs() []Arch { return ssd.AllArchs() }
+
+// Options configures an SSD instance. The zero value of every field picks
+// the paper's evaluation defaults (8 cores, 8×1 GB/s flash, 8 GB/s DRAM).
+type Options = ssd.Options
+
+// SSD is an assembled computational SSD. Build one per offload run.
+type SSD = ssd.SSD
+
+// NewSSD assembles a computational SSD.
+func NewSSD(opt Options) *SSD { return ssd.New(opt) }
+
+// KernelRun describes one offload: a kernel plus the datasets it streams.
+type KernelRun = ssd.KernelRun
+
+// Result is an offload's outcome: duration, throughput, collected outputs,
+// and per-core execution statistics.
+type Result = ssd.Result
+
+// TaskSpec is one core's share of a custom offload (advanced API; most
+// callers use KernelRun).
+type TaskSpec = ssd.TaskSpec
+
+// Kernel is an offloadable computational-storage function with stream-ISA
+// and software lowerings plus a reference implementation.
+type Kernel = kernels.Kernel
+
+// Output stream destinations.
+const (
+	// OutToHost stages results in SSD DRAM for the host (read-path).
+	OutToHost = firmware.OutToHost
+	// OutToFlash writes results back to the flash array (write-path).
+	OutToFlash = firmware.OutToFlash
+	// OutDiscard drops results (measurement-only workloads).
+	OutDiscard = firmware.OutDiscard
+)
+
+// StatKernel sums a 32-bit column (the Statistics offload).
+func StatKernel() Kernel { return kernels.Stat{} }
+
+// ScanKernel reads every input byte (the scalability study workload).
+func ScanKernel() Kernel { return kernels.Scan{} }
+
+// RAID4Kernel computes XOR parity over k data streams.
+func RAID4Kernel(k int) Kernel { return kernels.RAID4{K: k} }
+
+// RAID6Kernel computes P+Q Reed-Solomon parity over k data streams.
+func RAID6Kernel(k int) Kernel { return kernels.RAID6{K: k} }
+
+// AESKernel encrypts the input with AES-128-ECB using the given 16-byte key.
+func AESKernel(key []byte) Kernel { return kernels.AES{Key: key} }
+
+// FilterKernel filters fixed-size binary tuples by conjunctive range
+// predicates, copying passing tuples to the output stream.
+func FilterKernel(tupleSize int, preds []FieldPred) Kernel {
+	return kernels.Filter{TupleSize: tupleSize, Preds: preds}
+}
+
+// FieldPred is an inclusive unsigned range predicate on a tuple field.
+type FieldPred = kernels.FieldPred
+
+// SelectKernel projects fields out of fixed-size binary tuples.
+func SelectKernel(tupleSize int, fieldOffsets []int) Kernel {
+	return kernels.Select{TupleSize: tupleSize, FieldOffsets: fieldOffsets}
+}
+
+// PSFKernel is the Parse→Select→Filter pipeline over integer CSV rows.
+func PSFKernel(numFields int, project []int, preds []PSFPred) Kernel {
+	return kernels.PSF{NumFields: numFields, Project: project, Preds: preds}
+}
+
+// PSFPred is an inclusive range predicate on a parsed CSV column.
+type PSFPred = kernels.PSFPred
+
+// DedupKernel flags duplicate fixed-size chunks using a scratchpad-resident
+// signature table.
+func DedupKernel(chunkSize int) Kernel { return kernels.Dedup{ChunkSize: chunkSize} }
+
+// MLPKernel runs two-layer integer MLP inference with scratchpad-resident
+// weights over streaming feature records.
+func MLPKernel(in, hidden int) Kernel { return kernels.MLP{In: in, Hidden: hidden} }
+
+// LZKernel decompresses an LZ77-style token stream with a scratchpad
+// history window. Compressed streams are produced by
+// kernels.LZDecompress.Compress.
+func LZKernel() Kernel { return kernels.LZDecompress{} }
+
+// DegreeKernel streams an edge list while accumulating per-vertex degree
+// statistics in the scratchpad (the Table II graph-analysis pattern).
+func DegreeKernel(numVertices int) Kernel { return kernels.Degree{NumVertices: numVertices} }
+
+// ReplicateKernel fans one input stream out to two output streams inside
+// the SSD.
+func ReplicateKernel() Kernel { return kernels.Replicate{} }
+
+// TrainKernel runs streaming integer SGD on a linear model with
+// scratchpad-resident weights (the Table II NN-training pattern).
+func TrainKernel(features int) Kernel { return kernels.LinearTrain{In: features} }
+
+// ExperimentConfig scales the paper-reproduction experiments.
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig is benchmark scale; QuickExperimentConfig is
+// test scale with functional verification enabled.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+
+// QuickExperimentConfig returns a fast, verifying configuration.
+func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }

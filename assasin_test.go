@@ -1,0 +1,117 @@
+package assasin
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIStatOffload exercises the documented quickstart flow.
+func TestPublicAPIStatOffload(t *testing.T) {
+	const n = 1 << 14
+	data := make([]byte, 4*n)
+	rng := rand.New(rand.NewSource(1))
+	var want uint32
+	for i := 0; i < n; i++ {
+		v := uint32(rng.Intn(1000))
+		binary.LittleEndian.PutUint32(data[4*i:], v)
+		want += v
+	}
+	drive := NewSSD(Options{Arch: AssasinSb, Cores: 4})
+	lpas, err := drive.InstallBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := drive.RunKernel(KernelRun{
+		Kernel:     StatKernel(),
+		Inputs:     [][]int{lpas},
+		InputBytes: []int64{int64(len(data))},
+		RecordSize: 4,
+		Cores:      4,
+		OutKind:    OutDiscard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint32
+	for _, regs := range res.FinalRegs {
+		got += regs[8]
+	}
+	if got != want {
+		t.Fatalf("sum %#x, want %#x", got, want)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestPublicAPIFilterOffload(t *testing.T) {
+	const ts = 16
+	data := make([]byte, 256*ts)
+	rng := rand.New(rand.NewSource(2))
+	rng.Read(data)
+	k := FilterKernel(ts, []FieldPred{{Offset: 0, Lo: 0, Hi: 1 << 30}})
+	drive := NewSSD(Options{Arch: Baseline, Cores: 2})
+	lpas, err := drive.InstallBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := drive.RunKernel(KernelRun{
+		Kernel:     k,
+		Inputs:     [][]int{lpas},
+		InputBytes: []int64{int64(len(data))},
+		RecordSize: ts,
+		Cores:      2,
+		OutKind:    OutToHost,
+		Collect:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for _, outs := range res.Outputs {
+		got = append(got, outs[0]...)
+	}
+	ref, err := k.Reference([][]byte{data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref[0]) {
+		t.Fatal("public filter output mismatch")
+	}
+}
+
+func TestAllArchsExported(t *testing.T) {
+	archs := AllArchs()
+	if len(archs) != 6 {
+		t.Fatalf("AllArchs = %d", len(archs))
+	}
+	if archs[0] != Baseline || archs[4] != AssasinSb {
+		t.Fatal("arch order wrong")
+	}
+}
+
+func TestKernelConstructors(t *testing.T) {
+	key := make([]byte, 16)
+	ks := []Kernel{
+		StatKernel(), ScanKernel(), RAID4Kernel(4), RAID6Kernel(4), AESKernel(key),
+		FilterKernel(16, []FieldPred{{Offset: 0, Hi: 1}}),
+		SelectKernel(16, []int{0}),
+		PSFKernel(4, []int{0}, nil),
+	}
+	for _, k := range ks {
+		if k.Name() == "" {
+			t.Errorf("%T has no name", k)
+		}
+	}
+}
+
+func TestExperimentConfigs(t *testing.T) {
+	if DefaultExperimentConfig().Cores != 8 {
+		t.Error("default experiment config should use the paper's 8 cores")
+	}
+	if !QuickExperimentConfig().Verify {
+		t.Error("quick config should verify")
+	}
+}

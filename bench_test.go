@@ -1,0 +1,193 @@
+package assasin
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each iteration regenerates the artifact at a reduced but steady-state
+// scale and reports the headline ratio as a custom metric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation:
+//
+//	BenchmarkTable2Workloads        Table II   executable workload survey
+//	BenchmarkTable4Configs          Table IV   configuration inventory
+//	BenchmarkFig5CycleDecomposition Fig 5      Baseline Filter memory wall
+//	BenchmarkFig13StandaloneFunctions Fig 13   Stat/RAID4/RAID6/AES sweep
+//	BenchmarkFig14PSFPipeline       Fig 14     TPC-H Parse/Select/Filter
+//	BenchmarkFig15EndToEnd          Fig 15     end-to-end TPC-H latency
+//	BenchmarkFig16Scalability       Fig 16-18  core scaling/utilization/balance
+//	BenchmarkFig19Skew              Fig 19     layout-skew sensitivity
+//	BenchmarkFig20Timing            Fig 20     memory-structure timing
+//	BenchmarkFig21Adjusted          Fig 21     timing-adjusted throughput
+//	BenchmarkTable5PowerArea        Table V    silicon cost inventory
+//	BenchmarkFig22Efficiency        Fig 22     power/area efficiency
+
+import (
+	"testing"
+
+	"assasin/internal/experiments"
+	"assasin/internal/ssd"
+)
+
+// benchConfig scales experiments for benchmarking: bigger than unit tests,
+// smaller than the full assasin-bench run.
+func benchConfig() experiments.Config {
+	cfg := experiments.Default()
+	cfg.KernelMB = 1
+	cfg.AESKB = 64
+	cfg.ScanMB = 2
+	cfg.TPCHScale = 0.002
+	cfg.Verify = false
+	return cfg
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratios float64
+		n := 0
+		for _, r := range rows {
+			if r.Baseline > 0 {
+				ratios += r.AssasinSb / r.Baseline
+				n++
+			}
+		}
+		b.ReportMetric(ratios/float64(n), "mean-speedup-x")
+	}
+}
+
+func BenchmarkTable4Configs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if experiments.Table4(cfg) == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFig5CycleDecomposition(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Throughput/1e9, "filter-GB/s")
+		b.ReportMetric(100*r.MemStallFrac, "mem-stall-%")
+	}
+}
+
+func BenchmarkFig13StandaloneFunctions(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := experiments.SpeedupSummary(rows)
+		b.ReportMetric(sp[ssd.AssasinSb], "Sb-speedup-x")
+		b.ReportMetric(sp[ssd.AssasinSp], "Sp-speedup-x")
+	}
+}
+
+func BenchmarkFig14PSFPipeline(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := experiments.SpeedupSummaryFig14(rows)
+		b.ReportMetric(sp[ssd.AssasinSb], "Sb-speedup-x")
+		b.ReportMetric(sp[ssd.UDP], "UDP-speedup-x")
+	}
+}
+
+func BenchmarkFig15EndToEnd(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sb, pure float64
+		for _, r := range rows {
+			pure += r.PureCPU.Total().Seconds()
+			sb += r.Assasin.Total().Seconds()
+		}
+		b.ReportMetric(pure/sb, "e2e-speedup-x")
+	}
+}
+
+func BenchmarkFig16Scalability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig16(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Cores == 8 {
+				b.ReportMetric(p.Throughput/1e9, "8core-GB/s")
+				b.ReportMetric(100*p.Utilization, "8core-util-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig19Skew(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig19(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(last.Crossbar/last.ChannelLocal, "skew1-advantage-x")
+	}
+}
+
+func BenchmarkFig20Timing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig20()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig21Adjusted(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig21(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := experiments.SpeedupSummary(rows)
+		b.ReportMetric(sp[ssd.AssasinSb], "Sb-adj-speedup-x")
+	}
+}
+
+func BenchmarkTable5PowerArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table5Costs(8)) != 6 {
+			b.Fatal("want 6 configs")
+		}
+	}
+}
+
+func BenchmarkFig22Efficiency(b *testing.B) {
+	speedups := map[ssd.Arch]float64{
+		ssd.Baseline: 1.0, ssd.UDP: 1.3, ssd.Prefetch: 1.15,
+		ssd.AssasinSp: 1.3, ssd.AssasinSb: 1.9, ssd.AssasinSbCache: 1.9,
+	}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig22(speedups, 8)
+		for _, r := range rows {
+			if r.Arch == ssd.AssasinSb {
+				b.ReportMetric(r.PowerEff, "power-eff-x")
+				b.ReportMetric(r.AreaEff, "area-eff-x")
+			}
+		}
+	}
+}

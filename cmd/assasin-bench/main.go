@@ -1,0 +1,191 @@
+// Command assasin-bench regenerates the tables and figures of the ASSASIN
+// paper's evaluation (Section VI). Each experiment simulates complete
+// computational SSDs and prints the corresponding artifact.
+//
+// Usage:
+//
+//	assasin-bench -exp all            # everything (several minutes)
+//	assasin-bench -exp fig13          # one artifact
+//	assasin-bench -exp fig15 -sf 0.01 # bigger TPC-H dataset
+//	assasin-bench -quick -verify      # fast run with functional checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"assasin/internal/experiments"
+	"assasin/internal/ssd"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: all, table2, table4, fig5, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, fig21, table5, fig22, ablation")
+		quick  = flag.Bool("quick", false, "use the small test-scale configuration")
+		verify = flag.Bool("verify", false, "cross-check offload outputs against reference implementations")
+		cores  = flag.Int("cores", 0, "override compute engine count")
+		sf     = flag.Float64("sf", 0, "override TPC-H scale factor")
+		mb     = flag.Float64("mb", 0, "override standalone kernel input MB")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *verify {
+		cfg.Verify = true
+	}
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+	if *sf > 0 {
+		cfg.TPCHScale = *sf
+	}
+	if *mb > 0 {
+		cfg.KernelMB = *mb
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = []string{"table2", "table4", "fig5", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table5", "fig22", "ablation"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := run(strings.TrimSpace(name), cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+}
+
+// cached cross-experiment results (fig16 feeds fig17/fig18; fig21 feeds
+// fig22).
+var (
+	fig16Cache []experiments.Fig16Point
+	fig21Cache []experiments.Fig13Row
+)
+
+func fig16Points(cfg experiments.Config) ([]experiments.Fig16Point, error) {
+	if fig16Cache != nil {
+		return fig16Cache, nil
+	}
+	p, err := experiments.Fig16(cfg)
+	if err == nil {
+		fig16Cache = p
+	}
+	return p, err
+}
+
+func fig21Rows(cfg experiments.Config) ([]experiments.Fig13Row, error) {
+	if fig21Cache != nil {
+		return fig21Cache, nil
+	}
+	r, err := experiments.Fig21(cfg)
+	if err == nil {
+		fig21Cache = r
+	}
+	return r, err
+}
+
+func run(name string, cfg experiments.Config) error {
+	switch name {
+	case "table2":
+		rows, err := experiments.Table2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+	case "ablation":
+		wrows, err := experiments.AblationWindow(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationWindow(wrows))
+		drows, err := experiments.AblationDRAM(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatAblationDRAM(drows))
+		m, err := experiments.MixedIO(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatMixedIO(m))
+	case "table4":
+		fmt.Print(experiments.Table4(cfg))
+	case "fig5":
+		r, err := experiments.Fig5(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig5(r))
+	case "fig13":
+		rows, err := experiments.Fig13(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig13("Fig 13", rows))
+	case "fig14":
+		rows, err := experiments.Fig14(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig14("Fig 14", rows))
+	case "fig15":
+		rows, err := experiments.Fig15(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig15(rows))
+	case "fig16":
+		p, err := fig16Points(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig16(p))
+	case "fig17":
+		p, err := fig16Points(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig17(p))
+	case "fig18":
+		p, err := fig16Points(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig18(p))
+	case "fig19":
+		p, err := experiments.Fig19(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig19(p))
+	case "fig20":
+		fmt.Print(experiments.FormatFig20(experiments.Fig20()))
+	case "fig21":
+		rows, err := fig21Rows(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig13("Fig 21 (timing-adjusted)", rows))
+	case "table5":
+		fmt.Print(experiments.FormatTable5(cfg.Cores))
+	case "fig22":
+		rows, err := fig21Rows(cfg)
+		if err != nil {
+			return err
+		}
+		speedups := experiments.SpeedupSummary(rows)
+		fmt.Print(experiments.FormatFig22(experiments.Fig22(speedups, cfg.Cores)))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	_ = ssd.Baseline
+	return nil
+}

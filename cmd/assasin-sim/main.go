@@ -1,0 +1,202 @@
+// Command assasin-sim runs a single computational-storage offload on one
+// simulated SSD configuration and prints throughput plus the core-level
+// execution profile — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	assasin-sim -arch AssasinSb -kernel stat -mb 4 -cores 8
+//	assasin-sim -arch Baseline -kernel filter -mb 2
+//	assasin-sim -arch UDP -kernel aes -mb 0.25 -adjusted
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"assasin/internal/cpu"
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+	"assasin/internal/ssd"
+)
+
+func main() {
+	var (
+		archName = flag.String("arch", "AssasinSb", "Baseline, UDP, Prefetch, AssasinSp, AssasinSb, AssasinSb$")
+		kernel   = flag.String("kernel", "stat", "stat, scan, raid4, raid6, aes, filter, select, psf, dedup, mlp, lz")
+		mb       = flag.Float64("mb", 1, "input megabytes per stream")
+		cores    = flag.Int("cores", 8, "compute engines")
+		adjusted = flag.Bool("adjusted", false, "apply Fig 20 timing adjustments")
+		seed     = flag.Int64("seed", 1, "input data seed")
+	)
+	flag.Parse()
+
+	arch, err := parseArch(*archName)
+	if err != nil {
+		fail(err)
+	}
+	k, rec, nIn, out, err := pickKernel(*kernel)
+	if err != nil {
+		fail(err)
+	}
+
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted})
+	size := int(*mb * (1 << 20))
+	size -= size % 64
+	var lpaLists [][]int
+	var lengths []int64
+	for i := 0; i < nIn; i++ {
+		data := makeInput(*kernel, size, *seed+int64(i))
+		lpas, err := s.InstallBytes(data)
+		if err != nil {
+			fail(err)
+		}
+		lpaLists = append(lpaLists, lpas)
+		lengths = append(lengths, int64(len(data)))
+	}
+	res, err := s.RunKernel(ssd.KernelRun{
+		Kernel:     k,
+		Inputs:     lpaLists,
+		InputBytes: lengths,
+		RecordSize: rec,
+		Cores:      *cores,
+		OutKind:    out,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s / %s: %d cores, %.2f MB input\n", arch, k.Name(), *cores, float64(res.InputBytes)/(1<<20))
+	fmt.Printf("  duration    %v\n", res.Duration)
+	fmt.Printf("  throughput  %.3f GB/s\n", res.Throughput()/1e9)
+	var busy, mem, wait, outw, exec float64
+	var instr int64
+	for _, st := range res.CoreStats {
+		busy += st.BusyTime.Seconds()
+		mem += st.StallTime[cpu.StallMem].Seconds()
+		wait += st.StallTime[cpu.StallStreamWait].Seconds()
+		outw += st.StallTime[cpu.StallOutFull].Seconds()
+		exec += st.StallTime[cpu.StallExec].Seconds()
+		instr += st.Instructions
+	}
+	total := busy + mem + wait + outw + exec
+	if total > 0 {
+		fmt.Printf("  cycles: busy %.0f%%, mem %.0f%%, data-wait %.0f%%, out-full %.0f%%, exec %.0f%%\n",
+			100*busy/total, 100*mem/total, 100*wait/total, 100*outw/total, 100*exec/total)
+	}
+	fmt.Printf("  instructions %d (%.2f per input byte)\n", instr, float64(instr)/float64(res.InputBytes))
+	fmt.Printf("  DRAM traffic %.2f MB (util %.0f%%)\n",
+		float64(s.DRAM.TotalBytes())/(1<<20), 100*s.DRAM.Utilization(res.Duration))
+}
+
+func parseArch(name string) (ssd.Arch, error) {
+	for _, a := range ssd.AllArchs() {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown architecture %q", name)
+}
+
+func pickKernel(name string) (kernels.Kernel, int, int, firmware.OutKind, error) {
+	switch strings.ToLower(name) {
+	case "stat":
+		return kernels.Stat{}, 4, 1, firmware.OutDiscard, nil
+	case "scan":
+		return kernels.Scan{}, 16, 1, firmware.OutDiscard, nil
+	case "raid4":
+		return kernels.RAID4{K: 4}, 4, 4, firmware.OutToFlash, nil
+	case "raid6":
+		return kernels.RAID6{K: 4}, 4, 4, firmware.OutToFlash, nil
+	case "aes":
+		return kernels.AES{}, 16, 1, firmware.OutToFlash, nil
+	case "filter":
+		return kernels.Filter{
+			TupleSize: 32,
+			Preds: []kernels.FieldPred{
+				{Offset: 16, Lo: 19940101, Hi: 19941231},
+				{Offset: 0, Lo: 0, Hi: 23},
+			},
+		}, 32, 1, firmware.OutToHost, nil
+	case "select":
+		return kernels.Select{TupleSize: 32, FieldOffsets: []int{0, 4, 16}}, 32, 1, firmware.OutToHost, nil
+	case "psf":
+		return kernels.PSF{
+			NumFields: 16,
+			Project:   []int{4, 5, 6, 10},
+			Preds:     []kernels.PSFPred{{Col: 10, Lo: 19940101, Hi: 19941231}},
+		}, 1, 1, firmware.OutToHost, nil
+	case "dedup":
+		return kernels.Dedup{}, 512, 1, firmware.OutToHost, nil
+	case "mlp":
+		k := kernels.MLP{}
+		return k, k.RecordSize(), 1, firmware.OutToHost, nil
+	case "lz":
+		return kernels.LZDecompress{}, 1 << 30, 1, firmware.OutToHost, nil
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("unknown kernel %q", name)
+	}
+}
+
+// makeInput builds kernel-appropriate data: CSV rows for psf, binary tuples
+// with plausible fields for filter/select, random bytes otherwise.
+func makeInput(kernel string, size int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	switch strings.ToLower(kernel) {
+	case "psf":
+		var b strings.Builder
+		for b.Len() < size {
+			for f := 0; f < 16; f++ {
+				if f > 0 {
+					b.WriteByte('|')
+				}
+				if f == 10 {
+					fmt.Fprintf(&b, "%d", 19920101+rng.Intn(70000))
+				} else {
+					fmt.Fprintf(&b, "%d", rng.Intn(100000))
+				}
+			}
+			b.WriteByte('\n')
+		}
+		return []byte(b.String())
+	case "filter", "select":
+		data := make([]byte, size-size%32)
+		for i := 0; i+32 <= len(data); i += 32 {
+			put32 := func(off int, v uint32) {
+				data[i+off] = byte(v)
+				data[i+off+1] = byte(v >> 8)
+				data[i+off+2] = byte(v >> 16)
+				data[i+off+3] = byte(v >> 24)
+			}
+			put32(0, uint32(1+rng.Intn(50)))
+			put32(4, uint32(90000+rng.Intn(100000)))
+			put32(8, uint32(rng.Intn(11)*100))
+			put32(12, uint32(rng.Intn(9)*100))
+			put32(16, uint32(19920101+rng.Intn(70000)))
+		}
+		return data
+	case "lz":
+		return kernels.LZDecompress{}.Compress(kernels.CompressibleData(size, seed))
+	case "dedup":
+		chunk := make([]byte, 512)
+		out := make([]byte, 0, size)
+		for len(out)+512 <= size {
+			if rng.Intn(3) > 0 {
+				rng.Read(chunk)
+			}
+			out = append(out, chunk...)
+		}
+		return out
+	default:
+		data := make([]byte, size)
+		rng.Read(data)
+		return data
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "assasin-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Erasure coding: offload RAID-6 P+Q parity generation into the SSD — a
+// write-path computational-storage function. Four data streams flow from
+// the flash array through the ASSASIN cores (whose scratchpads hold the
+// Galois-field tables as function state), and the two parity streams are
+// written straight back to flash without ever touching SSD DRAM.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"assasin"
+	"assasin/internal/gf"
+)
+
+const k = 4 // data streams
+
+func main() {
+	// Four 1 MiB data shards "on flash".
+	shards := make([][]byte, k)
+	rng := rand.New(rand.NewSource(7))
+	for i := range shards {
+		shards[i] = make([]byte, 1<<20)
+		rng.Read(shards[i])
+	}
+
+	drive := assasin.NewSSD(assasin.Options{Arch: assasin.AssasinSb})
+	var lpaLists [][]int
+	var lengths []int64
+	for _, s := range shards {
+		lpas, err := drive.InstallBytes(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lpaLists = append(lpaLists, lpas)
+		lengths = append(lengths, int64(len(s)))
+	}
+
+	res, err := drive.RunKernel(assasin.KernelRun{
+		Kernel:     assasin.RAID6Kernel(k),
+		Inputs:     lpaLists,
+		InputBytes: lengths,
+		RecordSize: 4,
+		OutKind:    assasin.OutToFlash,
+		Collect:    true, // keep a copy to verify below
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reassemble the P and Q streams across the cores' partitions and
+	// verify against a host-side Reed-Solomon computation.
+	var gotP, gotQ []byte
+	for _, outs := range res.Outputs {
+		gotP = append(gotP, outs[0]...)
+		gotQ = append(gotQ, outs[1]...)
+	}
+	wantP := make([]byte, len(shards[0]))
+	wantQ := make([]byte, len(shards[0]))
+	for i, s := range shards {
+		coef := gf.Exp(i)
+		for j, v := range s {
+			wantP[j] ^= v
+			wantQ[j] ^= gf.Mul(coef, v)
+		}
+	}
+	if !bytes.Equal(gotP, wantP) || !bytes.Equal(gotQ, wantQ) {
+		log.Fatal("parity mismatch")
+	}
+
+	in := float64(k) * float64(len(shards[0]))
+	fmt.Printf("RAID-6 over %d x %d KiB shards on %v\n", k, len(shards[0])>>10, assasin.AssasinSb)
+	fmt.Printf("  parity verified: P (XOR) and Q (GF(2^8) syndrome)\n")
+	fmt.Printf("  duration   %v\n", res.Duration)
+	fmt.Printf("  coding rate %.2f GB/s of data protected\n", in/res.Duration.Seconds()/1e9)
+
+	// Demonstrate recovery: lose shard 2, rebuild from P.
+	rebuilt := make([]byte, len(shards[2]))
+	copy(rebuilt, wantP)
+	for i, s := range shards {
+		if i == 2 {
+			continue
+		}
+		for j, v := range s {
+			rebuilt[j] ^= v
+		}
+	}
+	if !bytes.Equal(rebuilt, shards[2]) {
+		log.Fatal("single-shard rebuild failed")
+	}
+	fmt.Println("  rebuild of a lost shard from P parity: OK")
+}

@@ -1,0 +1,3 @@
+module assasin
+
+go 1.22

@@ -1,0 +1,253 @@
+// Package aes implements AES-128 from first principles (SubBytes/ShiftRows/
+// MixColumns and an equivalent T-table formulation). It provides the
+// functional reference for the simulated AES encryption offload kernel and
+// the T-tables that kernel keeps in the ASSASIN scratchpad as function
+// state.
+//
+// Only encryption is needed by the paper's workloads (in-storage AES
+// encryption of flash streams); decryption is included for completeness and
+// to round-trip in tests.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+// rounds for AES-128.
+const rounds = 10
+
+var (
+	sbox    [256]byte
+	invSbox [256]byte
+	// T-tables: te[j][b] is the contribution of byte b at row j of a column
+	// to the next-round column, combining SubBytes, ShiftRows and
+	// MixColumns. The classic fast software formulation — 16 table lookups
+	// and 16 XORs per round — is exactly the memory-access pattern the
+	// simulated kernel performs against its scratchpad.
+	te [4][256]uint32
+	td [4][256]uint32
+	// rcon round constants.
+	rcon [11]byte
+)
+
+// gmul multiplies in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x1b).
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+func init() {
+	// Build the S-box from the multiplicative inverse + affine transform.
+	// Compute inverses by brute force; a 256^2 scan at init is trivial.
+	var inv [256]byte
+	for a := 1; a < 256; a++ {
+		for b := 1; b < 256; b++ {
+			if gmul(byte(a), byte(b)) == 1 {
+				inv[a] = byte(b)
+				break
+			}
+		}
+	}
+	for i := 0; i < 256; i++ {
+		x := inv[i]
+		// affine: s = x ^ rot(x,1) ^ rot(x,2) ^ rot(x,3) ^ rot(x,4) ^ 0x63
+		s := x ^ rotl8(x, 1) ^ rotl8(x, 2) ^ rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+	}
+	// T-tables.
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := gmul(s, 2)
+		s3 := gmul(s, 3)
+		t := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te[0][i] = t
+		te[1][i] = rotr32(t, 8)
+		te[2][i] = rotr32(t, 16)
+		te[3][i] = rotr32(t, 24)
+
+		is := invSbox[i]
+		_ = is
+		u := byte(i)
+		e := gmul(u, 0x0e)
+		b9 := gmul(u, 0x09)
+		d := gmul(u, 0x0d)
+		b := gmul(u, 0x0b)
+		// td tables operate on inv-sboxed bytes in InvMixColumns order.
+		ti := uint32(e)<<24 | uint32(b9)<<16 | uint32(d)<<8 | uint32(b)
+		td[0][i] = ti
+		td[1][i] = rotr32(ti, 8)
+		td[2][i] = rotr32(ti, 16)
+		td[3][i] = rotr32(ti, 24)
+	}
+	// Round constants.
+	c := byte(1)
+	for i := 1; i <= 10; i++ {
+		rcon[i] = c
+		c = gmul(c, 2)
+	}
+}
+
+func rotl8(x byte, n uint) byte      { return x<<n | x>>(8-n) }
+func rotr32(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// Cipher is an expanded AES-128 key.
+type Cipher struct {
+	enc [4 * (rounds + 1)]uint32
+	dec [4 * (rounds + 1)]uint32
+}
+
+// New expands a 16-byte key.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: invalid key size %d", len(key))
+	}
+	c := &Cipher{}
+	// Encryption schedule.
+	for i := 0; i < 4; i++ {
+		c.enc[i] = be32(key[4*i:])
+	}
+	for i := 4; i < len(c.enc); i++ {
+		t := c.enc[i-1]
+		if i%4 == 0 {
+			t = subWord(rotWord(t)) ^ uint32(rcon[i/4])<<24
+		}
+		c.enc[i] = c.enc[i-4] ^ t
+	}
+	// Decryption schedule: reversed rounds with InvMixColumns applied to
+	// the middle round keys (equivalent inverse cipher).
+	for i := 0; i < len(c.dec); i += 4 {
+		src := len(c.enc) - 4 - i
+		for j := 0; j < 4; j++ {
+			w := c.enc[src+j]
+			if i > 0 && i < len(c.dec)-4 {
+				w = invMixColumnsWord(w)
+			}
+			c.dec[i+j] = w
+		}
+	}
+	return c, nil
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func putBE32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+func invMixColumnsWord(w uint32) uint32 {
+	a := byte(w >> 24)
+	b := byte(w >> 16)
+	c := byte(w >> 8)
+	d := byte(w)
+	return uint32(gmul(a, 0x0e)^gmul(b, 0x0b)^gmul(c, 0x0d)^gmul(d, 0x09))<<24 |
+		uint32(gmul(a, 0x09)^gmul(b, 0x0e)^gmul(c, 0x0b)^gmul(d, 0x0d))<<16 |
+		uint32(gmul(a, 0x0d)^gmul(b, 0x09)^gmul(c, 0x0e)^gmul(d, 0x0b))<<8 |
+		uint32(gmul(a, 0x0b)^gmul(b, 0x0d)^gmul(c, 0x09)^gmul(d, 0x0e))
+}
+
+// Encrypt encrypts one 16-byte block (dst and src may overlap).
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s0 := be32(src[0:]) ^ c.enc[0]
+	s1 := be32(src[4:]) ^ c.enc[1]
+	s2 := be32(src[8:]) ^ c.enc[2]
+	s3 := be32(src[12:]) ^ c.enc[3]
+	k := 4
+	for r := 1; r < rounds; r++ {
+		t0 := te[0][s0>>24] ^ te[1][s1>>16&0xff] ^ te[2][s2>>8&0xff] ^ te[3][s3&0xff] ^ c.enc[k]
+		t1 := te[0][s1>>24] ^ te[1][s2>>16&0xff] ^ te[2][s3>>8&0xff] ^ te[3][s0&0xff] ^ c.enc[k+1]
+		t2 := te[0][s2>>24] ^ te[1][s3>>16&0xff] ^ te[2][s0>>8&0xff] ^ te[3][s1&0xff] ^ c.enc[k+2]
+		t3 := te[0][s3>>24] ^ te[1][s0>>16&0xff] ^ te[2][s1>>8&0xff] ^ te[3][s2&0xff] ^ c.enc[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows, no MixColumns.
+	o0 := uint32(sbox[s0>>24])<<24 | uint32(sbox[s1>>16&0xff])<<16 | uint32(sbox[s2>>8&0xff])<<8 | uint32(sbox[s3&0xff])
+	o1 := uint32(sbox[s1>>24])<<24 | uint32(sbox[s2>>16&0xff])<<16 | uint32(sbox[s3>>8&0xff])<<8 | uint32(sbox[s0&0xff])
+	o2 := uint32(sbox[s2>>24])<<24 | uint32(sbox[s3>>16&0xff])<<16 | uint32(sbox[s0>>8&0xff])<<8 | uint32(sbox[s1&0xff])
+	o3 := uint32(sbox[s3>>24])<<24 | uint32(sbox[s0>>16&0xff])<<16 | uint32(sbox[s1>>8&0xff])<<8 | uint32(sbox[s2&0xff])
+	putBE32(dst[0:], o0^c.enc[k])
+	putBE32(dst[4:], o1^c.enc[k+1])
+	putBE32(dst[8:], o2^c.enc[k+2])
+	putBE32(dst[12:], o3^c.enc[k+3])
+}
+
+// Decrypt decrypts one 16-byte block.
+func (c *Cipher) Decrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: short block")
+	}
+	s0 := be32(src[0:]) ^ c.dec[0]
+	s1 := be32(src[4:]) ^ c.dec[1]
+	s2 := be32(src[8:]) ^ c.dec[2]
+	s3 := be32(src[12:]) ^ c.dec[3]
+	k := 4
+	for r := 1; r < rounds; r++ {
+		t0 := td[0][invSbox[s0>>24]] ^ td[1][invSbox[s3>>16&0xff]] ^ td[2][invSbox[s2>>8&0xff]] ^ td[3][invSbox[s1&0xff]] ^ c.dec[k]
+		t1 := td[0][invSbox[s1>>24]] ^ td[1][invSbox[s0>>16&0xff]] ^ td[2][invSbox[s3>>8&0xff]] ^ td[3][invSbox[s2&0xff]] ^ c.dec[k+1]
+		t2 := td[0][invSbox[s2>>24]] ^ td[1][invSbox[s1>>16&0xff]] ^ td[2][invSbox[s0>>8&0xff]] ^ td[3][invSbox[s3&0xff]] ^ c.dec[k+2]
+		t3 := td[0][invSbox[s3>>24]] ^ td[1][invSbox[s2>>16&0xff]] ^ td[2][invSbox[s1>>8&0xff]] ^ td[3][invSbox[s0&0xff]] ^ c.dec[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	o0 := uint32(invSbox[s0>>24])<<24 | uint32(invSbox[s3>>16&0xff])<<16 | uint32(invSbox[s2>>8&0xff])<<8 | uint32(invSbox[s1&0xff])
+	o1 := uint32(invSbox[s1>>24])<<24 | uint32(invSbox[s0>>16&0xff])<<16 | uint32(invSbox[s3>>8&0xff])<<8 | uint32(invSbox[s2&0xff])
+	o2 := uint32(invSbox[s2>>24])<<24 | uint32(invSbox[s1>>16&0xff])<<16 | uint32(invSbox[s0>>8&0xff])<<8 | uint32(invSbox[s3&0xff])
+	o3 := uint32(invSbox[s3>>24])<<24 | uint32(invSbox[s2>>16&0xff])<<16 | uint32(invSbox[s1>>8&0xff])<<8 | uint32(invSbox[s0&0xff])
+	putBE32(dst[0:], o0^c.dec[k])
+	putBE32(dst[4:], o1^c.dec[k+1])
+	putBE32(dst[8:], o2^c.dec[k+2])
+	putBE32(dst[12:], o3^c.dec[k+3])
+}
+
+// EncryptECB encrypts len(src) bytes (a multiple of BlockSize) in ECB mode,
+// matching the simulated streaming kernel's per-block behaviour.
+func (c *Cipher) EncryptECB(dst, src []byte) {
+	if len(src)%BlockSize != 0 || len(dst) < len(src) {
+		panic("aes: EncryptECB size")
+	}
+	for i := 0; i < len(src); i += BlockSize {
+		c.Encrypt(dst[i:], src[i:])
+	}
+}
+
+// Tables exposes the expanded encryption key and T-tables in the flat layout
+// the simulated kernel loads into its scratchpad: 44 round-key words, then
+// te[0..3], each 256 words, all little-endian within the scratchpad.
+func (c *Cipher) Tables() (roundKeys []uint32, tables [4][256]uint32, sboxOut [256]byte) {
+	roundKeys = make([]uint32, len(c.enc))
+	copy(roundKeys, c.enc[:])
+	tables = te
+	sboxOut = sbox
+	return
+}

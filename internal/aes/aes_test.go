@@ -1,0 +1,174 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+)
+
+// FIPS-197 Appendix C.1 test vector.
+func TestFIPS197Vector(t *testing.T) {
+	key, _ := hex.DecodeString("000102030405060708090a0b0c0d0e0f")
+	pt, _ := hex.DecodeString("00112233445566778899aabbccddeeff")
+	want, _ := hex.DecodeString("69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+	back := make([]byte, 16)
+	c.Decrypt(back, got)
+	if !bytes.Equal(back, pt) {
+		t.Fatalf("Decrypt = %x, want %x", back, pt)
+	}
+}
+
+// Second published vector (AES-128 from the original Rijndael submission).
+func TestRijndaelVector(t *testing.T) {
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	want, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	c, _ := New(key)
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+}
+
+// Cross-check against the standard library across random keys and blocks.
+func TestAgainstStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := New(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		std, err := stdaes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := make([]byte, 16)
+		b := make([]byte, 16)
+		ours.Encrypt(a, pt)
+		std.Encrypt(b, pt)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("trial %d: ours %x != stdlib %x (key %x pt %x)", trial, a, b, key, pt)
+		}
+		back := make([]byte, 16)
+		ours.Decrypt(back, a)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("trial %d: decrypt round trip failed", trial)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	key := make([]byte, 16)
+	rng.Read(key)
+	c, _ := New(key)
+	for trial := 0; trial < 500; trial++ {
+		pt := make([]byte, 16)
+		rng.Read(pt)
+		ct := make([]byte, 16)
+		c.Encrypt(ct, pt)
+		if bytes.Equal(ct, pt) {
+			t.Fatal("ciphertext equals plaintext (vanishingly unlikely)")
+		}
+		back := make([]byte, 16)
+		c.Decrypt(back, ct)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("round trip failed at trial %d", trial)
+		}
+	}
+}
+
+func TestECB(t *testing.T) {
+	key := make([]byte, 16)
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	c, _ := New(key)
+	dst := make([]byte, len(src))
+	c.EncryptECB(dst, src)
+	// Each block must equal a standalone encryption.
+	blk := make([]byte, 16)
+	for i := 0; i < len(src); i += 16 {
+		c.Encrypt(blk, src[i:])
+		if !bytes.Equal(blk, dst[i:i+16]) {
+			t.Fatalf("ECB block %d mismatch", i/16)
+		}
+	}
+}
+
+func TestNewRejectsBadKeySizes(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("key size %d accepted", n)
+		}
+	}
+}
+
+func TestSboxProperties(t *testing.T) {
+	// S-box must be a permutation with no fixed points and the standard
+	// anchor values.
+	if sbox[0x00] != 0x63 || sbox[0x01] != 0x7c || sbox[0x53] != 0xed {
+		t.Fatalf("sbox anchors wrong: %#x %#x %#x", sbox[0], sbox[1], sbox[0x53])
+	}
+	seen := make(map[byte]bool)
+	for i := 0; i < 256; i++ {
+		if sbox[i] == byte(i) {
+			t.Errorf("sbox fixed point at %#x", i)
+		}
+		seen[sbox[i]] = true
+		if invSbox[sbox[i]] != byte(i) {
+			t.Errorf("invSbox broken at %#x", i)
+		}
+	}
+	if len(seen) != 256 {
+		t.Errorf("sbox is not a permutation: %d distinct", len(seen))
+	}
+}
+
+func TestTablesLayout(t *testing.T) {
+	key := make([]byte, 16)
+	c, _ := New(key)
+	rk, tables, sb := c.Tables()
+	if len(rk) != 44 {
+		t.Fatalf("round keys = %d words, want 44", len(rk))
+	}
+	if rk[0] != 0 { // zero key: first words are zero
+		t.Errorf("rk[0] = %#x, want 0", rk[0])
+	}
+	// te identity: tables[1] is tables[0] rotated right by 8.
+	for i := 0; i < 256; i++ {
+		if tables[1][i] != rotr32(tables[0][i], 8) {
+			t.Fatalf("te rotation identity fails at %d", i)
+		}
+	}
+	if sb != sbox {
+		t.Error("Tables returned wrong sbox")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	key := make([]byte, 16)
+	c, _ := New(key)
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

@@ -1,0 +1,161 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"assasin/internal/isa"
+)
+
+func TestBuildSimpleLoop(t *testing.T) {
+	b := New()
+	b.Li(A0, 0)
+	b.Li(A1, 10)
+	loop := b.Here()
+	b.Addi(A0, A0, 1)
+	b.Blt(A0, A1, loop)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 5 {
+		t.Fatalf("program length %d, want 5", len(p.Insts))
+	}
+	// The blt at index 3 targets index 2: offset relative to next pc = -1.
+	if p.Insts[3].Op != isa.OpBlt || p.Insts[3].Imm != -1 {
+		t.Errorf("branch fixup wrong: %+v", p.Insts[3])
+	}
+}
+
+func TestForwardBranch(t *testing.T) {
+	b := New()
+	done := b.NewLabel()
+	b.Beq(A0, Zero, done)
+	b.Addi(A1, A1, 1)
+	b.Addi(A1, A1, 2)
+	b.Bind(done)
+	b.Halt()
+	p := b.MustBuild()
+	if p.Insts[0].Imm != 3 {
+		t.Errorf("forward branch offset = %d, want 3", p.Insts[0].Imm)
+	}
+}
+
+func TestUnboundLabelFails(t *testing.T) {
+	b := New()
+	l := b.NewLabel()
+	b.J(l)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build with unbound label succeeded")
+	}
+}
+
+func TestDoubleBindFails(t *testing.T) {
+	b := New()
+	l := b.NewLabel()
+	b.Bind(l)
+	b.Bind(l)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("double bind not reported")
+	}
+}
+
+func TestLiSmallAndLarge(t *testing.T) {
+	cases := []int32{0, 1, -1, 42, -2048, 2047, 16383, -16384, 65536, -65536, 0x12345678, -0x12345678, 1 << 30, -(1 << 31)}
+	for _, v := range cases {
+		b := New()
+		b.Li(A0, v)
+		b.Halt()
+		p := b.MustBuild()
+		if got := evalLi(t, p); got != uint32(v) {
+			t.Errorf("Li(%d) materialized %#x, want %#x", v, got, uint32(v))
+		}
+		// Everything must encode.
+		if _, err := p.Encode(); err != nil {
+			t.Errorf("Li(%d) does not encode: %v", v, err)
+		}
+	}
+}
+
+// evalLi interprets the tiny lui/addi sequences Li emits.
+func evalLi(t *testing.T, p *Program) uint32 {
+	t.Helper()
+	var regs [32]uint32
+	for _, in := range p.Insts {
+		switch in.Op {
+		case isa.OpLui:
+			regs[in.Rd] = uint32(in.Imm) << 12
+		case isa.OpAddi:
+			regs[in.Rd] = regs[in.Rs1] + uint32(in.Imm)
+		case isa.OpHalt:
+			return regs[A0]
+		default:
+			t.Fatalf("unexpected op %v in Li expansion", in.Op)
+		}
+	}
+	return regs[A0]
+}
+
+func TestStreamOps(t *testing.T) {
+	b := New()
+	b.StreamLoad(A0, 0, 4)
+	b.StreamPeek(A1, 1, 2, 8)
+	b.StreamAdv(1, 16)
+	b.StreamStore(0, 1, A0)
+	b.StreamEnd(T0, 0)
+	b.StreamCsrR(T1, 2, isa.CsrHead)
+	b.Halt()
+	p := b.MustBuild()
+	if p.Insts[0].Width != 4 || p.Insts[0].Stream != 0 {
+		t.Errorf("StreamLoad fields: %+v", p.Insts[0])
+	}
+	if p.Insts[3].Rs2 != A0 {
+		t.Errorf("StreamStore source: %+v", p.Insts[3])
+	}
+	if _, err := p.Encode(); err != nil {
+		t.Errorf("stream program does not encode: %v", err)
+	}
+}
+
+func TestInvalidStreamWidthFails(t *testing.T) {
+	b := New()
+	b.StreamLoad(A0, 0, 3)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("width 3 accepted")
+	}
+}
+
+func TestDisassembleListsAll(t *testing.T) {
+	b := New()
+	b.Add(A0, A1, A2)
+	b.Halt()
+	d := b.MustBuild().Disassemble()
+	if !strings.Contains(d, "add a0, a1, a2") || !strings.Contains(d, "halt") {
+		t.Errorf("disassembly missing instructions:\n%s", d)
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	b := New()
+	b.Mv(A0, A1)
+	b.Nop()
+	b.Ret()
+	p := b.MustBuild()
+	if p.Insts[0].Op != isa.OpAddi || p.Insts[0].Rs1 != A1 {
+		t.Errorf("Mv lowering: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Rd != Zero {
+		t.Errorf("Nop lowering: %+v", p.Insts[1])
+	}
+	if p.Insts[2].Op != isa.OpJalr || p.Insts[2].Rs1 != RA {
+		t.Errorf("Ret lowering: %+v", p.Insts[2])
+	}
+}
+
+func TestProgramEncodeError(t *testing.T) {
+	p := &Program{Insts: []isa.Inst{{Op: isa.OpAddi, Imm: 1 << 20}}}
+	if _, err := p.Encode(); err == nil {
+		t.Fatal("oversized immediate encoded")
+	}
+}

@@ -1,0 +1,104 @@
+// Package core assembles the ASSASIN core — the paper's per-engine
+// contribution (Section V-B): a general-purpose in-order scalar pipeline
+// extended with
+//
+//   - input/output stream buffers (S stream slots × P flash pages each)
+//     whose prefetched head FIFO gives single-cycle StreamLoad/StreamStore,
+//   - a scratchpad tightly coupled to the pipeline for function state, and
+//   - optionally a small data cache backed by SSD DRAM, the graceful
+//     fallback when state outgrows the scratchpad (the AssasinSb$ variant),
+//
+// together with the stream ISA extension of Table III, which the cpu and
+// isa packages implement. The ssd package instantiates one of these per
+// compute engine for the ASSASIN configurations; the conventional
+// cache-hierarchy engines of the Baseline are plain cpu.Core + caches.
+package core
+
+import (
+	"fmt"
+
+	"assasin/internal/cpu"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+// Config sizes one ASSASIN core.
+type Config struct {
+	// Name labels the core in schedules and stats.
+	Name string
+	// Clock is the core clock (1 GHz nominal; 1.124 GHz with the Fig. 20
+	// streambuffer timing).
+	Clock sim.Clock
+	// StreamSlots is S: concurrent input and output streams.
+	StreamSlots int
+	// WindowPages is P: the per-slot circular window, in flash pages.
+	WindowPages int
+	// PageSize is the flash page size in bytes.
+	PageSize int
+	// ScratchpadBytes sizes the function-state scratchpad.
+	ScratchpadBytes int
+	// ScratchpadCycles is the scratchpad access cost in pipeline cycles.
+	ScratchpadCycles int
+	// WithCache adds the AssasinSb$ 32K L1D backed by DRAM.
+	WithCache bool
+}
+
+// DefaultConfig is the paper's AssasinSb core: S=8 slots, a 32 KiB window
+// per slot (P=2 at 16 KiB flash pages), a 64 KiB scratchpad, 1 GHz.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:            name,
+		Clock:           sim.NewClock(1e9),
+		StreamSlots:     8,
+		WindowPages:     8,
+		PageSize:        4 << 10,
+		ScratchpadBytes: 64 << 10,
+	}
+}
+
+// Core is one assembled ASSASIN core.
+type Core struct {
+	CPU *cpu.Core
+	Sys *memhier.System
+}
+
+// Build assembles the core against the shared SSD DRAM.
+func Build(cfg Config, dram *memhier.DRAM, client string) (*Core, error) {
+	if cfg.StreamSlots <= 0 || cfg.WindowPages <= 0 || cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("core: bad stream geometry %+v", cfg)
+	}
+	if cfg.Clock.Period <= 0 {
+		cfg.Clock = sim.NewClock(1e9)
+	}
+	if cfg.ScratchpadCycles <= 0 {
+		cfg.ScratchpadCycles = 1
+	}
+	sys := &memhier.System{
+		Clock:    cfg.Clock,
+		DRAM:     dram,
+		Backing:  memhier.NewSparseMem(),
+		Streams:  memhier.NewStreamBuffer(cfg.StreamSlots, cfg.WindowPages, cfg.PageSize),
+		ViewPath: memhier.ViewScratchpad,
+		Client:   client,
+	}
+	if cfg.ScratchpadBytes > 0 {
+		sys.Scratchpad = memhier.NewScratchpad(cfg.ScratchpadBytes)
+		sys.Scratchpad.AccessCycles = cfg.ScratchpadCycles
+	}
+	if cfg.WithCache {
+		sys.L1 = memhier.NewCache(memhier.CacheConfig{
+			Name: "l1d", Size: 32 << 10, Ways: 8, LineSize: 64,
+		}, memhier.DRAMLevel{DRAM: dram})
+	}
+	ccfg := cpu.DefaultConfig(cfg.Name)
+	ccfg.Clock = cfg.Clock
+	c := cpu.New(ccfg, sys)
+	return &Core{CPU: c, Sys: sys}, nil
+}
+
+// ISBCapacity returns the total input stream buffer bytes across slots.
+// The paper's Table IV capacity is 64 KiB I + 64 KiB O (S=8, P=2 at 4 KiB
+// pages); this model provisions deeper per-slot windows so the firmware can
+// dedicate the whole ISB to a few active streams, and the power model
+// (internal/power) charges the paper's 128 KiB total.
+func (cfg Config) ISBCapacity() int { return cfg.StreamSlots * cfg.WindowPages * cfg.PageSize }

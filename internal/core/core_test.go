@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"assasin/internal/asm"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+func TestBuildDefault(t *testing.T) {
+	dram := memhier.NewDRAM(memhier.DefaultDRAMConfig())
+	c, err := Build(DefaultConfig("c0"), dram, "c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sys.Scratchpad == nil || c.Sys.Scratchpad.Size() != 64<<10 {
+		t.Fatal("scratchpad missing or wrong size")
+	}
+	if len(c.Sys.Streams.In) != 8 || len(c.Sys.Streams.Out) != 8 {
+		t.Fatal("stream slots wrong")
+	}
+	if c.Sys.L1 != nil {
+		t.Fatal("default core should have no cache")
+	}
+}
+
+func TestBuildWithCache(t *testing.T) {
+	dram := memhier.NewDRAM(memhier.DefaultDRAMConfig())
+	cfg := DefaultConfig("sbcache")
+	cfg.WithCache = true
+	c, err := Build(cfg, dram, "c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sys.L1 == nil {
+		t.Fatal("cache missing")
+	}
+}
+
+func TestBuildRejectsBadGeometry(t *testing.T) {
+	dram := memhier.NewDRAM(memhier.DefaultDRAMConfig())
+	if _, err := Build(Config{Name: "bad"}, dram, "x"); err == nil {
+		t.Fatal("zero geometry accepted")
+	}
+}
+
+// TestCoreRunsStreamProgram drives an assembled ASSASIN core end to end.
+func TestCoreRunsStreamProgram(t *testing.T) {
+	dram := memhier.NewDRAM(memhier.DefaultDRAMConfig())
+	c, err := Build(DefaultConfig("c0"), dram, "c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := asm.New()
+	loop := b.Here()
+	b.StreamLoad(asm.A0, 0, 4)
+	b.Add(asm.S0, asm.S0, asm.A0)
+	b.J(loop)
+	c.CPU.LoadProgram(b.MustBuild())
+
+	in := c.Sys.Streams.In[0]
+	in.Push([]byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}, 0)
+	in.Close()
+	for i := 0; i < 1000; i++ {
+		if _, st, _ := c.CPU.Run(sim.MaxTime); st == sim.StateDone {
+			break
+		}
+	}
+	if got := c.CPU.Reg(asm.S0); got != 6 {
+		t.Fatalf("sum = %d, want 6", got)
+	}
+}
+
+func TestISBCapacity(t *testing.T) {
+	cfg := DefaultConfig("c")
+	if cfg.ISBCapacity() != 8*8*(4<<10) {
+		t.Fatalf("ISB capacity = %d", cfg.ISBCapacity())
+	}
+}
+
+func TestClockDefaults(t *testing.T) {
+	dram := memhier.NewDRAM(memhier.DefaultDRAMConfig())
+	cfg := DefaultConfig("c")
+	cfg.Clock = sim.Clock{}
+	c, err := Build(cfg, dram, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sys.Clock.Period != sim.Nanosecond {
+		t.Fatal("clock default not applied")
+	}
+}

@@ -1,0 +1,89 @@
+package cpu
+
+import (
+	"testing"
+
+	"assasin/internal/asm"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+// BenchmarkInterpreterALU measures raw interpretation speed — the quantity
+// that bounds how much simulated work the experiments can afford.
+func BenchmarkInterpreterALU(b *testing.B) {
+	bb := asm.New()
+	bb.Li(asm.T1, 1<<30)
+	loop := bb.Here()
+	bb.Addi(asm.T0, asm.T0, 1)
+	bb.Xor(asm.T2, asm.T2, asm.T0)
+	bb.Slli(asm.T3, asm.T0, 3)
+	bb.Add(asm.T2, asm.T2, asm.T3)
+	bb.Bltu(asm.T0, asm.T1, loop)
+	bb.Halt()
+	prog := bb.MustBuild()
+	c := New(DefaultConfig("bench"), newTestSystem())
+	c.LoadProgram(prog)
+	b.ResetTimer()
+	total := int64(0)
+	for total < int64(b.N) {
+		c.Run(c.LocalTime() + 100*sim.Microsecond)
+		total += 100_000
+	}
+	b.ReportMetric(float64(c.Stats().Instructions)/float64(b.Elapsed().Seconds())/1e6, "Minstr/s")
+}
+
+// BenchmarkStreamLoadPath measures the stream-ISA fast path end to end.
+func BenchmarkStreamLoadPath(b *testing.B) {
+	bb := asm.New()
+	loop := bb.Here()
+	bb.StreamLoad(asm.A0, 0, 4)
+	bb.Add(asm.S0, asm.S0, asm.A0)
+	bb.J(loop)
+	prog := bb.MustBuild()
+	sys := newTestSystem()
+	c := New(DefaultConfig("bench"), sys)
+	c.LoadProgram(prog)
+	in := sys.Streams.In[0]
+	page := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for !in.CanPush(len(page)) {
+			c.Run(c.LocalTime() + sim.Microsecond)
+		}
+		in.Push(page, 0)
+		c.Run(c.LocalTime() + 10*sim.Microsecond)
+	}
+}
+
+// BenchmarkCachedLoadPath measures the cache-hierarchy load path.
+func BenchmarkCachedLoadPath(b *testing.B) {
+	dram := memhier.NewDRAM(memhier.DefaultDRAMConfig())
+	l2 := memhier.NewCache(memhier.CacheConfig{Name: "l2", Size: 256 << 10, Ways: 16, LineSize: 64, HitLatency: 10 * sim.Nanosecond}, memhier.DRAMLevel{DRAM: dram})
+	l1 := memhier.NewCache(memhier.CacheConfig{Name: "l1", Size: 32 << 10, Ways: 8, LineSize: 64}, l2)
+	sys := &memhier.System{
+		Clock:   sim.NewClock(1e9),
+		L1:      l1,
+		DRAM:    dram,
+		Backing: memhier.NewSparseMem(),
+		Client:  "bench",
+	}
+	bb := asm.New()
+	bb.Lui(asm.S1, 0x80000)
+	bb.Li(asm.T1, 1<<30)
+	loop := bb.Here()
+	bb.Lw(asm.A0, asm.S1, 0)
+	bb.Addi(asm.S1, asm.S1, 4)
+	bb.Addi(asm.T0, asm.T0, 1)
+	bb.Bltu(asm.T0, asm.T1, loop)
+	bb.Halt()
+	c := New(DefaultConfig("bench"), sys)
+	c.LoadProgram(bb.MustBuild())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(c.LocalTime() + 10*sim.Microsecond)
+	}
+	if c.Err() != nil {
+		b.Fatal(c.Err())
+	}
+}

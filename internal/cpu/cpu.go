@@ -1,0 +1,646 @@
+// Package cpu models the in-order scalar compute engines embedded in the
+// simulated computational SSDs: an ISA-level interpreter (functional) with a
+// cycle-accounting timing model (performance), in the spirit of a Gem5
+// in-order core. One Core executes one assembled kernel program against a
+// memhier.System; it implements sim.Process so the SSD scheduler can
+// co-simulate many cores with the flash and DRAM world.
+package cpu
+
+import (
+	"fmt"
+
+	"assasin/internal/asm"
+	"assasin/internal/isa"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+// Config sets a core's timing parameters.
+type Config struct {
+	Name  string
+	Clock sim.Clock
+	// MulCycles and DivCycles are the occupancy of M-extension ops (the
+	// ibex fast multiplier takes 3 cycles; division is iterative).
+	MulCycles int
+	DivCycles int
+	// BranchTakenPenalty is the pipeline-flush cost of a taken branch or
+	// jump, in cycles beyond the issue cycle.
+	BranchTakenPenalty int
+	// BranchFree models the UDP accelerator's multiway dispatch and fused
+	// compare-branch operations: control-flow instructions retire in zero
+	// cycles with no taken penalty.
+	BranchFree bool
+	// MaxInstructions aborts runaway programs (0 = default guard).
+	MaxInstructions int64
+}
+
+// DefaultConfig returns 1 GHz ibex-like timing.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:               name,
+		Clock:              sim.NewClock(1e9),
+		MulCycles:          3,
+		DivCycles:          20,
+		BranchTakenPenalty: 1,
+	}
+}
+
+// StallKind categorizes where a core's non-busy cycles went (Fig. 5's cycle
+// decomposition).
+type StallKind int
+
+// Stall categories.
+const (
+	// StallMem: waiting on the cache/DRAM hierarchy (loads and stores).
+	StallMem StallKind = iota
+	// StallStreamWait: waiting for stream data to arrive from the flash
+	// array (or for availability of staged pages).
+	StallStreamWait
+	// StallOutFull: waiting for the firmware to drain a full output window.
+	StallOutFull
+	// StallExec: multi-cycle execution (mul/div) and branch penalties.
+	StallExec
+	numStallKinds
+)
+
+// String implements fmt.Stringer.
+func (k StallKind) String() string {
+	switch k {
+	case StallMem:
+		return "mem"
+	case StallStreamWait:
+		return "stream-wait"
+	case StallOutFull:
+		return "out-full"
+	case StallExec:
+		return "exec"
+	default:
+		return fmt.Sprintf("stall%d", int(k))
+	}
+}
+
+// Stats accumulates a core's execution profile.
+type Stats struct {
+	Instructions int64
+	ByClass      [16]int64
+	// BusyTime is issue time: one cycle per retired instruction.
+	BusyTime sim.Time
+	// StallTime is non-issue time by category.
+	StallTime [numStallKinds]sim.Time
+	// LoadBytes / StoreBytes / StreamInBytes / StreamOutBytes count data
+	// moved by the program.
+	LoadBytes, StoreBytes, StreamInBytes, StreamOutBytes int64
+	// Retries counts blocked accesses that had to be re-attempted.
+	Retries int64
+}
+
+// TotalTime returns busy plus all stall time.
+func (s *Stats) TotalTime() sim.Time {
+	t := s.BusyTime
+	for _, st := range s.StallTime {
+		t += st
+	}
+	return t
+}
+
+// Core is one simulated compute engine.
+type Core struct {
+	cfg  Config
+	sys  *memhier.System
+	prog []isa.Inst
+
+	regs   [isa.NumRegs]uint32
+	pc     int
+	at     sim.Time
+	halted bool
+	err    error
+
+	blocked      bool
+	blockKind    StallKind
+	wakeAt       sim.Time
+	maxInsts     int64
+	stats        Stats
+	haltCallback func(at sim.Time)
+}
+
+// New returns a core ready to Load a program.
+func New(cfg Config, sys *memhier.System) *Core {
+	if cfg.Clock.Period <= 0 {
+		cfg.Clock = sim.NewClock(1e9)
+	}
+	if cfg.MulCycles <= 0 {
+		cfg.MulCycles = 3
+	}
+	if cfg.DivCycles <= 0 {
+		cfg.DivCycles = 20
+	}
+	max := cfg.MaxInstructions
+	if max <= 0 {
+		max = 20_000_000_000
+	}
+	return &Core{cfg: cfg, sys: sys, maxInsts: max}
+}
+
+// LoadProgram installs the kernel and resets architectural state. The local
+// clock is preserved (the firmware resets PC and pipeline between requests,
+// not time).
+func (c *Core) LoadProgram(p *asm.Program) {
+	c.prog = p.Insts
+	c.pc = 0
+	c.halted = false
+	c.err = nil
+	c.blocked = false
+	c.regs = [isa.NumRegs]uint32{}
+}
+
+// SetReg sets an argument register before the program starts.
+func (c *Core) SetReg(r asm.Reg, v uint32) { c.regs[r] = v; c.regs[0] = 0 }
+
+// Reg reads a register (for result extraction and tests).
+func (c *Core) Reg(r asm.Reg) uint32 { return c.regs[r] }
+
+// Sys returns the core's memory system.
+func (c *Core) Sys() *memhier.System { return c.sys }
+
+// Stats returns a copy of the execution profile.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Err returns the simulation error that halted the core, if any.
+func (c *Core) Err() error { return c.err }
+
+// Halted reports whether the program has finished (halt, end-of-stream
+// reset, or error).
+func (c *Core) Halted() bool { return c.halted }
+
+// LocalTime returns the core's local clock.
+func (c *Core) LocalTime() sim.Time { return c.at }
+
+// OnHalt registers a callback fired when the program halts (used by the
+// offload engine to close output streams).
+func (c *Core) OnHalt(fn func(at sim.Time)) { c.haltCallback = fn }
+
+// Name implements sim.Process.
+func (c *Core) Name() string { return c.cfg.Name }
+
+// Wake notifies the core that stream state changed at time t; the scheduler
+// wrapper uses wakeAt as the retry hint.
+func (c *Core) Wake(t sim.Time) {
+	if c.blocked && (c.wakeAt == sim.MaxTime || t < c.wakeAt) {
+		c.wakeAt = t
+	}
+}
+
+// Run implements sim.Process: interpret instructions until the local clock
+// passes limit, the core blocks, or the program halts.
+func (c *Core) Run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
+	if c.halted {
+		return c.at, sim.StateDone, 0
+	}
+	period := c.cfg.Clock.Period
+	if c.blocked && c.wakeAt != sim.MaxTime {
+		// An external wake told us when the blocking condition cleared;
+		// the waited time is stall of the blocking kind.
+		if c.wakeAt > c.at {
+			c.stats.StallTime[c.blockKind] += c.wakeAt - c.at
+			c.at = c.wakeAt
+		}
+		c.wakeAt = sim.MaxTime
+	}
+	for c.at <= limit {
+		if c.pc < 0 || c.pc >= len(c.prog) {
+			c.fail(fmt.Errorf("cpu %s: pc %d out of program (len %d)", c.cfg.Name, c.pc, len(c.prog)))
+			return c.at, sim.StateDone, 0
+		}
+		if c.stats.Instructions >= c.maxInsts {
+			c.fail(fmt.Errorf("cpu %s: instruction budget %d exceeded", c.cfg.Name, c.maxInsts))
+			return c.at, sim.StateDone, 0
+		}
+		in := &c.prog[c.pc]
+		blocked := c.step(in, period)
+		if blocked {
+			if !c.blocked {
+				c.blocked = true
+				c.wakeAt = sim.MaxTime
+			}
+			c.stats.Retries++
+			return c.at, sim.StateWaiting, c.wakeAt
+		}
+		c.blocked = false
+		if c.halted {
+			if c.haltCallback != nil {
+				c.haltCallback(c.at)
+			}
+			return c.at, sim.StateDone, 0
+		}
+	}
+	return c.at, sim.StateReady, 0
+}
+
+// fail halts the core with an error.
+func (c *Core) fail(err error) {
+	c.err = err
+	c.halted = true
+	if c.haltCallback != nil {
+		c.haltCallback(c.at)
+	}
+}
+
+// retire advances time for an instruction that issued at t0 and completed
+// its data at done, charging any slack to kind.
+func (c *Core) retire(t0, done sim.Time, kind StallKind) {
+	period := c.cfg.Clock.Period
+	end := t0 + period
+	c.stats.BusyTime += period
+	if done > t0 {
+		if done+period > end {
+			c.stats.StallTime[kind] += done + period - end
+			end = done + period
+		}
+	}
+	c.at = end
+}
+
+// retireCycles advances time by 1 issue cycle + (cycles-1) execution cycles.
+func (c *Core) retireCycles(t0 sim.Time, cycles int) {
+	period := c.cfg.Clock.Period
+	c.stats.BusyTime += period
+	if cycles > 1 {
+		c.stats.StallTime[StallExec] += sim.Time(cycles-1) * period
+	}
+	c.at = t0 + sim.Time(cycles)*period
+}
+
+func (c *Core) setReg(r uint8, v uint32) {
+	if r != 0 {
+		c.regs[r] = v
+	}
+}
+
+// step executes one instruction. It returns true when the instruction
+// cannot complete yet (stream empty / output full); the core retries it
+// after a wake.
+func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
+	t0 := c.at
+	cl := in.Op.Class()
+	switch cl {
+	case isa.ClassALU:
+		c.setReg(in.Rd, c.alu(in))
+		c.pc++
+		c.retireCycles(t0, 1)
+
+	case isa.ClassMul:
+		c.setReg(in.Rd, c.mul(in))
+		c.pc++
+		c.retireCycles(t0, c.cfg.MulCycles)
+
+	case isa.ClassDiv:
+		c.setReg(in.Rd, c.div(in))
+		c.pc++
+		c.retireCycles(t0, c.cfg.DivCycles)
+
+	case isa.ClassLoad:
+		addr := c.regs[in.Rs1] + uint32(in.Imm)
+		size, signed := loadSize(in.Op)
+		r, err := c.sys.Load(t0, addr, size, uint32(c.pc))
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		if r.Status == memhier.LoadBlocked {
+			c.blockKind = StallStreamWait
+			return true
+		}
+		v := r.Value
+		if signed {
+			v = signExtendVal(v, size)
+		}
+		c.setReg(in.Rd, v)
+		c.stats.LoadBytes += int64(size)
+		c.pc++
+		c.retire(t0, r.Done, c.loadStallKind(addr))
+
+	case isa.ClassStore:
+		addr := c.regs[in.Rs1] + uint32(in.Imm)
+		size := storeSize(in.Op)
+		r, err := c.sys.Store(t0, addr, size, c.regs[in.Rs2], uint32(c.pc))
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		if r.Status == memhier.LoadBlocked {
+			c.blockKind = StallOutFull
+			return true
+		}
+		c.stats.StoreBytes += int64(size)
+		c.pc++
+		c.retire(t0, r.Done, StallMem)
+
+	case isa.ClassBranch:
+		taken := c.branch(in)
+		cycles := 1
+		switch {
+		case c.cfg.BranchFree && taken:
+			// UDP multiway dispatch folds taken control flow into the
+			// preceding operation: no issue slot, no flush.
+			cycles = 0
+		case c.cfg.BranchFree:
+			cycles = 1 // fall-through still occupies the dispatch slot
+		case taken:
+			cycles = 1 + c.cfg.BranchTakenPenalty
+		}
+		if taken {
+			c.pc += int(in.Imm)
+		} else {
+			c.pc++
+		}
+		if cycles > 0 {
+			c.retireCycles(t0, cycles)
+		}
+
+	case isa.ClassJump:
+		link := uint32(c.pc + 1)
+		if in.Op == isa.OpJal {
+			c.pc += int(in.Imm)
+		} else { // jalr: absolute instruction index
+			c.pc = int(c.regs[in.Rs1] + uint32(in.Imm))
+		}
+		c.setReg(in.Rd, link)
+		cycles := 1 + c.cfg.BranchTakenPenalty
+		if c.cfg.BranchFree {
+			cycles = 0 // dispatch-folded jump
+		}
+		if cycles > 0 {
+			c.retireCycles(t0, cycles)
+		}
+
+	case isa.ClassStreamLoad:
+		var r memhier.AccessResult
+		var err error
+		if in.Op == isa.OpStreamLoad {
+			r, err = c.sys.StreamLoad(t0, int(in.Stream), int(in.Width))
+		} else {
+			r, err = c.sys.StreamPeek(t0, int(in.Stream), int(in.Width), int64(in.Imm))
+		}
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		switch r.Status {
+		case memhier.LoadBlocked:
+			c.blockKind = StallStreamWait
+			return true
+		case memhier.LoadEOS:
+			// Listing 1: the loop ends when StreamLoad hangs at end of
+			// stream and the firmware resets the core.
+			c.halted = true
+			c.at = t0 + period
+			return false
+		}
+		c.setReg(in.Rd, r.Value)
+		if in.Op == isa.OpStreamLoad {
+			c.stats.StreamInBytes += int64(in.Width)
+		}
+		c.pc++
+		c.retire(t0, r.Done, StallStreamWait)
+
+	case isa.ClassStreamStore:
+		r, err := c.sys.StreamStore(t0, int(in.Stream), int(in.Width), c.regs[in.Rs2])
+		if err != nil {
+			c.fail(err)
+			return false
+		}
+		if r.Status == memhier.LoadBlocked {
+			c.blockKind = StallOutFull
+			return true
+		}
+		c.stats.StreamOutBytes += int64(in.Width)
+		c.pc++
+		c.retire(t0, r.Done, StallOutFull)
+
+	case isa.ClassStreamCtl:
+		switch in.Op {
+		case isa.OpStreamAdv:
+			amount := int64(in.Imm) * int64(in.Width)
+			r, err := c.sys.StreamAdv(t0, int(in.Stream), amount)
+			if err != nil {
+				c.fail(err)
+				return false
+			}
+			if r.Status == memhier.LoadBlocked {
+				c.blockKind = StallStreamWait
+				return true
+			}
+		case isa.OpStreamEnd:
+			v, err := c.sys.StreamEnd(int(in.Stream))
+			if err != nil {
+				c.fail(err)
+				return false
+			}
+			c.setReg(in.Rd, v)
+		case isa.OpStreamCsrR:
+			v, err := c.sys.StreamCsr(int(in.Stream), in.Imm)
+			if err != nil {
+				c.fail(err)
+				return false
+			}
+			c.setReg(in.Rd, v)
+		}
+		c.pc++
+		c.retireCycles(t0, 1)
+
+	case isa.ClassHalt:
+		c.halted = true
+		c.at = t0 + period
+		c.stats.BusyTime += period
+
+	default:
+		c.fail(fmt.Errorf("cpu %s: unknown class for %v", c.cfg.Name, in.Op))
+		return false
+	}
+	c.stats.Instructions++
+	c.stats.ByClass[cl]++
+	return false
+}
+
+// loadStallKind attributes load stalls: stream-view addresses stall on flash
+// data, everything else on the memory hierarchy.
+func (c *Core) loadStallKind(addr uint32) StallKind {
+	if addr >= memhier.StreamInViewBase && addr < memhier.DRAMBase {
+		if c.sys.ViewPath == memhier.ViewScratchpad {
+			return StallStreamWait
+		}
+		// Cached view stalls are dominated by the cache/DRAM path.
+		return StallMem
+	}
+	return StallMem
+}
+
+func (c *Core) alu(in *isa.Inst) uint32 {
+	a := c.regs[in.Rs1]
+	b := c.regs[in.Rs2]
+	imm := uint32(in.Imm)
+	switch in.Op {
+	case isa.OpAdd:
+		return a + b
+	case isa.OpSub:
+		return a - b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpSll:
+		return a << (b & 31)
+	case isa.OpSrl:
+		return a >> (b & 31)
+	case isa.OpSra:
+		return uint32(int32(a) >> (b & 31))
+	case isa.OpSlt:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case isa.OpSltu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.OpAddi:
+		return a + imm
+	case isa.OpAndi:
+		return a & imm
+	case isa.OpOri:
+		return a | imm
+	case isa.OpXori:
+		return a ^ imm
+	case isa.OpSlli:
+		return a << (imm & 31)
+	case isa.OpSrli:
+		return a >> (imm & 31)
+	case isa.OpSrai:
+		return uint32(int32(a) >> (imm & 31))
+	case isa.OpSlti:
+		if int32(a) < in.Imm {
+			return 1
+		}
+		return 0
+	case isa.OpSltiu:
+		if a < imm {
+			return 1
+		}
+		return 0
+	case isa.OpLui:
+		return imm << 12
+	default:
+		return 0
+	}
+}
+
+func (c *Core) mul(in *isa.Inst) uint32 {
+	a := c.regs[in.Rs1]
+	b := c.regs[in.Rs2]
+	switch in.Op {
+	case isa.OpMul:
+		return a * b
+	case isa.OpMulh:
+		return uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32)
+	case isa.OpMulhu:
+		return uint32(uint64(a) * uint64(b) >> 32)
+	default:
+		return 0
+	}
+}
+
+func (c *Core) div(in *isa.Inst) uint32 {
+	a := c.regs[in.Rs1]
+	b := c.regs[in.Rs2]
+	switch in.Op {
+	case isa.OpDiv:
+		if b == 0 {
+			return ^uint32(0) // RISC-V: div by zero = -1
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return a // overflow: return dividend
+		}
+		return uint32(int32(a) / int32(b))
+	case isa.OpDivu:
+		if b == 0 {
+			return ^uint32(0)
+		}
+		return a / b
+	case isa.OpRem:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == -1<<31 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case isa.OpRemu:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	default:
+		return 0
+	}
+}
+
+func (c *Core) branch(in *isa.Inst) bool {
+	a := c.regs[in.Rs1]
+	b := c.regs[in.Rs2]
+	switch in.Op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return int32(a) < int32(b)
+	case isa.OpBge:
+		return int32(a) >= int32(b)
+	case isa.OpBltu:
+		return a < b
+	case isa.OpBgeu:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+func loadSize(op isa.Op) (size int, signed bool) {
+	switch op {
+	case isa.OpLb:
+		return 1, true
+	case isa.OpLbu:
+		return 1, false
+	case isa.OpLh:
+		return 2, true
+	case isa.OpLhu:
+		return 2, false
+	default:
+		return 4, false
+	}
+}
+
+func storeSize(op isa.Op) int {
+	switch op {
+	case isa.OpSb:
+		return 1
+	case isa.OpSh:
+		return 2
+	default:
+		return 4
+	}
+}
+
+func signExtendVal(v uint32, size int) uint32 {
+	switch size {
+	case 1:
+		return uint32(int32(int8(v)))
+	case 2:
+		return uint32(int32(int16(v)))
+	default:
+		return v
+	}
+}

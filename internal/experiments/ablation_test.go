@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationWindowDepth(t *testing.T) {
+	cfg := Quick()
+	rows, err := AblationWindow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Deeper windows never hurt, and P=1 is clearly worse than P=8.
+	if rows[0].Throughput >= rows[3].Throughput {
+		t.Errorf("P=1 (%.2e) not worse than P=8 (%.2e)", rows[0].Throughput, rows[3].Throughput)
+	}
+	// Diminishing returns: the last doubling gains little.
+	gainLast := rows[4].Throughput / rows[3].Throughput
+	if gainLast > 1.25 {
+		t.Errorf("P=16 over P=8 gains %.2fx; window model suspicious", gainLast)
+	}
+	if s := FormatAblationWindow(rows); !strings.Contains(s, "P") {
+		t.Error("format broken")
+	}
+}
+
+func TestAblationDRAMSensitivity(t *testing.T) {
+	cfg := Quick()
+	rows, err := AblationDRAM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// Baseline scales with DRAM bandwidth (memory-wall signature).
+	if last.Baseline <= first.Baseline*1.2 {
+		t.Errorf("Baseline insensitive to DRAM bandwidth: %.2e -> %.2e", first.Baseline, last.Baseline)
+	}
+	// AssasinSb is DRAM-independent for stream data.
+	ratio := last.AssasinSb / first.AssasinSb
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("AssasinSb varies with DRAM bandwidth: %.3f", ratio)
+	}
+	// At starved DRAM the gap is enormous.
+	if first.AssasinSb/first.Baseline < 2 {
+		t.Errorf("at 2GB/s DRAM, Sb/Baseline = %.2f, want > 2", first.AssasinSb/first.Baseline)
+	}
+	if s := FormatAblationDRAM(rows); !strings.Contains(s, "DRAM") {
+		t.Error("format broken")
+	}
+}
+
+func TestMixedIOGenerality(t *testing.T) {
+	cfg := Quick()
+	r, err := MixedIO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OffloadThroughput <= 0 {
+		t.Fatal("offload made no progress under I/O")
+	}
+	if r.BusyReadMean < r.IdleReadMean {
+		t.Error("reads faster under load")
+	}
+	if r.BusyReadMean > 50*r.IdleReadMean {
+		t.Errorf("reads starved: %v vs %v", r.BusyReadMean, r.IdleReadMean)
+	}
+	if s := FormatMixedIO(r); !strings.Contains(s, "generality") {
+		t.Error("format broken")
+	}
+}

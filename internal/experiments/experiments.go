@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI). Each experiment builds fresh SSD instances,
+// runs the relevant offloads, verifies functional outputs against the
+// kernels' reference implementations, and returns structured rows that
+// cmd/assasin-bench formats like the paper's artifacts.
+//
+// Workload sizes are laptop-scale (documented substitution in DESIGN.md):
+// streaming kernels are steady-state, so throughput — and every ratio the
+// paper reports — is size-invariant past warm-up.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+	"assasin/internal/sim"
+	"assasin/internal/ssd"
+)
+
+// Config scales the experiments.
+type Config struct {
+	// KernelMB is the per-stream input size for standalone kernels (Fig 13).
+	KernelMB float64
+	// AESKB bounds the AES input (the kernel runs ~65 simulated
+	// instructions per byte, so it gets a smaller input).
+	AESKB float64
+	// ScanMB is the total input for the scalability study (Figs 16-18).
+	ScanMB float64
+	// TPCHScale is the dataset scale factor for Figs 14-15.
+	TPCHScale float64
+	// Cores is the engine count (Table IV uses 8).
+	Cores int
+	// Verify cross-checks offload outputs against reference
+	// implementations where the experiment collects them.
+	Verify bool
+}
+
+// Default returns the benchmark-scale configuration.
+func Default() Config {
+	return Config{
+		KernelMB:  2,
+		AESKB:     256,
+		ScanMB:    8,
+		TPCHScale: 0.004,
+		Cores:     8,
+		Verify:    false,
+	}
+}
+
+// Quick returns a configuration small enough for unit tests.
+func Quick() Config {
+	return Config{
+		KernelMB:  0.25,
+		AESKB:     32,
+		ScanMB:    1,
+		TPCHScale: 0.001,
+		Cores:     4,
+		Verify:    true,
+	}
+}
+
+func randData(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	// Round to a 64-byte multiple so every kernel's record size divides it.
+	return b[:len(b)&^63]
+}
+
+// runOpts parameterize one standalone offload run.
+type runOpts struct {
+	arch       ssd.Arch
+	adjusted   bool
+	cores      int
+	kernel     kernels.Kernel
+	inputs     [][]byte
+	recordSize int
+	outKind    firmware.OutKind
+	collect    bool
+	// windowPages overrides the per-slot input window depth (0 = arch
+	// default). Single-stream workloads may use the whole ISB capacity.
+	windowPages int
+}
+
+// runResult is one run's measurements.
+type runResult struct {
+	res      *ssd.Result
+	instance *ssd.SSD
+}
+
+// throughput returns input bytes/second.
+func (r *runResult) throughput() float64 { return r.res.Throughput() }
+
+// runStandalone builds a fresh SSD, installs the inputs, and runs the
+// kernel across the cores.
+func runStandalone(o runOpts) (*runResult, error) {
+	s := ssd.New(ssd.Options{
+		Arch:           o.arch,
+		Cores:          o.cores,
+		TimingAdjusted: o.adjusted,
+		WindowPages:    o.windowPages,
+	})
+	var lpaLists [][]int
+	var lengths []int64
+	for _, in := range o.inputs {
+		lpas, err := s.InstallBytes(in)
+		if err != nil {
+			return nil, err
+		}
+		lpaLists = append(lpaLists, lpas)
+		lengths = append(lengths, int64(len(in)))
+	}
+	res, err := s.RunKernel(ssd.KernelRun{
+		Kernel:     o.kernel,
+		Inputs:     lpaLists,
+		InputBytes: lengths,
+		RecordSize: o.recordSize,
+		Cores:      o.cores,
+		OutKind:    o.outKind,
+		Collect:    o.collect,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &runResult{res: res, instance: s}, nil
+}
+
+// verifyOutputs concatenates collected per-core outputs and compares them
+// with the kernel reference over the same per-core partitions.
+func verifyOutputs(o runOpts, r *runResult) error {
+	if !o.collect {
+		return nil
+	}
+	ranges := ssd.PartitionBytes(int64(len(o.inputs[0])), o.cores, o.recordSize)
+	for slot := 0; slot < o.kernel.Outputs(); slot++ {
+		var got []byte
+		for _, outs := range r.res.Outputs {
+			got = append(got, outs[slot]...)
+		}
+		var want []byte
+		for _, rg := range ranges {
+			var parts [][]byte
+			for _, in := range o.inputs {
+				parts = append(parts, in[rg.Start:rg.End])
+			}
+			ref, err := o.kernel.Reference(parts)
+			if err != nil {
+				return err
+			}
+			want = append(want, ref[slot]...)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("experiments: %s on %v: output %d mismatch (%d vs %d bytes)",
+				o.kernel.Name(), o.arch, slot, len(got), len(want))
+		}
+	}
+	return nil
+}
+
+// geoMean returns the geometric mean of positive values.
+func geoMean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// gbps formats bytes/second as GB/s.
+func gbps(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
+
+// msOf formats simulated time as milliseconds.
+func msOf(t sim.Time) string { return fmt.Sprintf("%.3f", float64(t)/float64(sim.Millisecond)) }

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"assasin/internal/ssd"
+)
+
+func TestFig5MemoryWallDecomposition(t *testing.T) {
+	cfg := Quick()
+	r, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The motivating example: memory stalls dominate the Baseline engine.
+	if r.MemStallFrac < 0.3 {
+		t.Errorf("memory stalls %.2f, want the dominant share", r.MemStallFrac)
+	}
+	if r.BusyFrac > 0.6 {
+		t.Errorf("busy %.2f, want well under 1 (the memory wall)", r.BusyFrac)
+	}
+	// Single-engine Filter in the paper: 0.63 GB/s; accept the band.
+	if r.Throughput < 0.2e9 || r.Throughput > 1.5e9 {
+		t.Errorf("filter throughput %.2f GB/s outside plausible band", r.Throughput/1e9)
+	}
+	if s := FormatFig5(r); !strings.Contains(s, "memory stalls") {
+		t.Error("format broken")
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	cfg := Quick()
+	rows, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 kernels, got %d", len(rows))
+	}
+	byName := map[string]Fig13Row{}
+	for _, r := range rows {
+		byName[r.Kernel] = r
+	}
+	// Memory-bound kernels: ASSASIN wins clearly.
+	for _, k := range []string{"Stat", "RAID4"} {
+		r := byName[k]
+		sp := r.Throughput[ssd.AssasinSb] / r.Throughput[ssd.Baseline]
+		if sp < 1.2 {
+			t.Errorf("%s: Sb/Baseline = %.2f, want > 1.2", k, sp)
+		}
+		if r.Throughput[ssd.AssasinSb] < r.Throughput[ssd.AssasinSp]*0.98 {
+			t.Errorf("%s: Sb below Sp", k)
+		}
+	}
+	// Compute intensity ordering: Stat fastest, AES slowest everywhere.
+	if byName["Stat"].Throughput[ssd.AssasinSb] <= byName["AES"].Throughput[ssd.AssasinSb] {
+		t.Error("AES should be far slower than Stat")
+	}
+	// AES is compute-bound: ASSASIN benefit small.
+	aes := byName["AES"]
+	if sp := aes.Throughput[ssd.AssasinSb] / aes.Throughput[ssd.Baseline]; sp > 1.5 {
+		t.Errorf("AES speedup %.2f implausibly high for a compute-bound kernel", sp)
+	}
+	// Sb$ tracks Sb when state fits the scratchpad.
+	for _, r := range rows {
+		ratio := r.Throughput[ssd.AssasinSbCache] / r.Throughput[ssd.AssasinSb]
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("%s: Sb$/Sb = %.3f, want ~1", r.Kernel, ratio)
+		}
+	}
+	if s := FormatFig13("Fig 13", rows); !strings.Contains(s, "Stat") {
+		t.Error("format broken")
+	}
+}
+
+func TestFig21AdjustedOrdering(t *testing.T) {
+	cfg := Quick()
+	plain, err := Fig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj, err := Fig21(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		k := plain[i].Kernel
+		// The adjusted AssasinSb clock is 11% faster; unless flash-bound
+		// its throughput must not drop.
+		if adj[i].Throughput[ssd.AssasinSb] < plain[i].Throughput[ssd.AssasinSb]*0.95 {
+			t.Errorf("%s: adjusted Sb slower than unadjusted", k)
+		}
+		// AssasinSp pays 2-cycle scratchpads: must not get faster.
+		if adj[i].Throughput[ssd.AssasinSp] > plain[i].Throughput[ssd.AssasinSp]*1.02 {
+			t.Errorf("%s: adjusted Sp got faster", k)
+		}
+	}
+	// The paper's Fig 21 punchline: adjustment widens the Sb-Sp gap.
+	spPlain := SpeedupSummary(plain)
+	spAdj := SpeedupSummary(adj)
+	gapPlain := spPlain[ssd.AssasinSb] / spPlain[ssd.AssasinSp]
+	gapAdj := spAdj[ssd.AssasinSb] / spAdj[ssd.AssasinSp]
+	if gapAdj <= gapPlain {
+		t.Errorf("timing adjustment did not widen Sb/Sp gap: %.3f -> %.3f", gapPlain, gapAdj)
+	}
+}
+
+func TestFig16ScalingAndUtilization(t *testing.T) {
+	cfg := Quick()
+	points, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Monotone non-decreasing throughput, near-linear early.
+	for i := 1; i < len(points); i++ {
+		if points[i].Throughput < points[i-1].Throughput*0.95 {
+			t.Errorf("throughput regressed at %d cores", points[i].Cores)
+		}
+	}
+	if r := points[1].Throughput / points[0].Throughput; r < 1.7 {
+		t.Errorf("1->2 cores scaling %.2f, want near 2x", r)
+	}
+	// Utilization stays high while under the flash bound.
+	for _, p := range points {
+		if p.Cores <= 8 && p.Utilization < 0.7 {
+			t.Errorf("%d cores: utilization %.2f too low", p.Cores, p.Utilization)
+		}
+	}
+	// Channel balance at 8 cores (Fig 18).
+	for _, p := range points {
+		if p.Cores != 8 {
+			continue
+		}
+		var min, max int64 = 1 << 62, 0
+		for _, bc := range p.ChannelBytes {
+			if bc < min {
+				min = bc
+			}
+			if bc > max {
+				max = bc
+			}
+		}
+		if max == 0 || float64(min)/float64(max) < 0.8 {
+			t.Errorf("channel imbalance: min=%d max=%d", min, max)
+		}
+	}
+	for _, f := range []string{FormatFig16(points), FormatFig17(points), FormatFig18(points)} {
+		if f == "" {
+			t.Error("empty format")
+		}
+	}
+}
+
+func TestFig19SkewSensitivity(t *testing.T) {
+	cfg := Quick()
+	points, err := Fig19(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := points[0]
+	last := points[len(points)-1]
+	// No skew: both architectures comparable.
+	if r := first.Crossbar / first.ChannelLocal; r < 0.8 || r > 1.6 {
+		t.Errorf("skew 0 ratio %.2f, want ~1", r)
+	}
+	// Extreme skew: the crossbar pools cores onto the hot channel; the
+	// channel-local design is stuck with one core.
+	if r := last.Crossbar / last.ChannelLocal; r < 1.3 {
+		t.Errorf("skew 1 ratio %.2f, want crossbar clearly ahead", r)
+	}
+	// Channel-local degrades monotonically-ish with skew.
+	if last.ChannelLocal > first.ChannelLocal*0.8 {
+		t.Errorf("channel-local insensitive to skew: %.2e -> %.2e", first.ChannelLocal, last.ChannelLocal)
+	}
+	// The crossbar degrades strictly less than channel-local.
+	xbarDrop := first.Crossbar / last.Crossbar
+	localDrop := first.ChannelLocal / last.ChannelLocal
+	if xbarDrop >= localDrop {
+		t.Errorf("crossbar dropped %.2fx vs channel-local %.2fx", xbarDrop, localDrop)
+	}
+	if s := FormatFig19(points); !strings.Contains(s, "Skew") {
+		t.Error("format broken")
+	}
+}
+
+func TestFig20TimingConclusions(t *testing.T) {
+	rows := Fig20()
+	if len(rows) < 6 {
+		t.Fatal("too few rows")
+	}
+	var fifo64, sp64k float64
+	for _, r := range rows {
+		if r.Structure == "streambuffer head FIFO" && r.WidthB == 64 {
+			fifo64 = r.TimeNS
+		}
+		if strings.HasPrefix(r.Structure, "scratchpad") && r.Bytes == 64<<10 && r.WidthB == 8 {
+			sp64k = r.TimeNS
+		}
+	}
+	if fifo64 == 0 || sp64k == 0 {
+		t.Fatal("anchor rows missing")
+	}
+	if fifo64 > 0.6 {
+		t.Errorf("FIFO 64B = %.2fns, want ~0.5", fifo64)
+	}
+	if sp64k <= 1.0 {
+		t.Errorf("64K scratchpad = %.2fns, want > 1", sp64k)
+	}
+	if s := FormatFig20(rows); !strings.Contains(s, "11%") {
+		t.Error("clock conclusion missing")
+	}
+}
+
+func TestTable5AndFig22(t *testing.T) {
+	costs := Table5Costs(8)
+	byArch := map[ssd.Arch]float64{}
+	for _, c := range costs {
+		byArch[c.Arch] = c.Cost.AreaMM2
+	}
+	// AssasinSb's memory hierarchy is much leaner than Baseline's.
+	if byArch[ssd.AssasinSb] >= byArch[ssd.Baseline] {
+		t.Error("AssasinSb should be smaller than Baseline")
+	}
+	ratio := byArch[ssd.Baseline] / byArch[ssd.AssasinSb]
+	if ratio < 1.3 || ratio > 3 {
+		t.Errorf("Baseline/Sb area ratio %.2f outside plausible band", ratio)
+	}
+	// Fig 22 with the paper's headline speedups.
+	rows := Fig22(map[ssd.Arch]float64{
+		ssd.Baseline: 1.0, ssd.UDP: 1.3, ssd.Prefetch: 1.15,
+		ssd.AssasinSp: 1.3, ssd.AssasinSb: 1.9, ssd.AssasinSbCache: 1.9,
+	}, 8)
+	var sb Fig22Row
+	for _, r := range rows {
+		if r.Arch == ssd.AssasinSb {
+			sb = r
+		}
+	}
+	if sb.AreaEff < 2.2 || sb.AreaEff > 4.5 {
+		t.Errorf("AssasinSb area efficiency %.2f, paper reports ~3.2x", sb.AreaEff)
+	}
+	if sb.PowerEff < 1.5 || sb.PowerEff > 3.5 {
+		t.Errorf("AssasinSb power efficiency %.2f, paper reports ~2.0x", sb.PowerEff)
+	}
+	if s := FormatTable5(8); !strings.Contains(s, "AssasinSb") {
+		t.Error("table format broken")
+	}
+	if s := FormatFig22(rows); !strings.Contains(s, "Power-eff") {
+		t.Error("fig22 format broken")
+	}
+}
+
+func TestTable4Format(t *testing.T) {
+	s := Table4(Quick())
+	for _, want := range []string{"Baseline", "UDP", "Prefetch", "AssasinSp", "AssasinSb", "AssasinSb$", "stream ISA"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table IV missing %q", want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := geoMean([]float64{2, 8}); g < 3.99 || g > 4.01 {
+		t.Errorf("geoMean = %g", g)
+	}
+	if geoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2WorkloadStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	cfg := Quick()
+	rows, err := Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("functions = %d, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.Baseline <= 0 || r.AssasinSb <= 0 {
+			t.Errorf("%s produced no throughput", r.Function)
+		}
+		// Stream architectures never lose on these workloads.
+		if r.AssasinSb < r.Baseline*0.9 {
+			t.Errorf("%s: AssasinSb (%.2e) below Baseline (%.2e)", r.Function, r.AssasinSb, r.Baseline)
+		}
+	}
+	if s := FormatTable2(rows); !strings.Contains(s, "Deduplicate") {
+		t.Error("format broken")
+	}
+}

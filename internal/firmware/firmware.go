@@ -1,0 +1,483 @@
+// Package firmware implements the SSD control plane for computational
+// storage requests (Section V-D): it constructs streams from the logical
+// pages named in an `scomp` request, schedules flash reads into input
+// stream buffers ahead of the consuming cores, drains output stream buffers
+// toward SSD DRAM (read-path results) or the flash array (write-path
+// results), and tracks request completion. Following the paper's
+// control/data-plane separation, the firmware never touches stream
+// contents — it only moves pages — and the ASSASIN cores never see flash
+// addresses.
+package firmware
+
+import (
+	"fmt"
+
+	"assasin/internal/cpu"
+	"assasin/internal/crossbar"
+	"assasin/internal/ftl"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+var debugFeeder = false
+
+// DebugFeeder toggles feeder tracing (tests only).
+func DebugFeeder(on bool) { debugFeeder = on }
+
+// DataPath selects how pages travel between the flash controllers and a
+// compute engine — the architectural difference between the Table IV
+// configurations.
+type DataPath int
+
+// Data paths.
+const (
+	// PathCrossbar: flash controller → crossbar → stream buffer /
+	// ping-pong scratchpad, bypassing SSD DRAM (AssasinSp, AssasinSb,
+	// AssasinSb$).
+	PathCrossbar DataPath = iota
+	// PathDRAMStage: flash controller → SSD DRAM; the core then reads the
+	// staged pages through its cache hierarchy (Baseline, Prefetch).
+	PathDRAMStage
+	// PathDRAMCopy: flash controller → SSD DRAM → firmware copy into the
+	// accelerator's private scratchpad (UDP), costing DRAM bandwidth twice.
+	PathDRAMCopy
+)
+
+// StreamSpec names the flash-resident byte range forming one input stream:
+// an ordered page list plus a byte window [Offset, Offset+Length) over the
+// concatenated pages. The firmware trims partial head/tail pages when
+// constructing the stream, which is how the storage engine's task
+// decomposition can split a dataset at object boundaries.
+type StreamSpec struct {
+	LPAs   []int
+	Offset int64
+	Length int64
+}
+
+// TotalBytes returns the stream's length in bytes.
+func (s StreamSpec) TotalBytes() int64 { return s.Length }
+
+// OutKind says where an output stream's data goes.
+type OutKind int
+
+// Output targets.
+const (
+	// OutToHost: results are staged in SSD DRAM for the host to fetch
+	// (read-path offloads: Filter, Select, Stat...).
+	OutToHost OutKind = iota
+	// OutToFlash: results are written back to the flash array (write-path
+	// offloads: erasure coding parity, encrypted data).
+	OutToFlash
+	// OutDiscard: results are consumed nowhere (dummy scan workloads).
+	OutDiscard
+)
+
+// OutTarget configures one output stream slot.
+type OutTarget struct {
+	Kind OutKind
+	// StartLPA is the first logical page for OutToFlash targets.
+	StartLPA int
+	// Collect retains drained bytes for functional verification.
+	Collect bool
+}
+
+// Task is the work assigned to one compute engine.
+type Task struct {
+	Core    *cpu.Core
+	CoreID  int
+	Inputs  []StreamSpec
+	Outputs []OutTarget
+}
+
+// Config sets the engine's data-path behaviour.
+type Config struct {
+	PageSize int
+	Path     DataPath
+	// MaxSenses bounds outstanding array reads per stream feeder.
+	MaxSenses int
+}
+
+// Engine drives one offload request's data plane.
+type Engine struct {
+	cfg   Config
+	sched *sim.Scheduler
+	ftl   *ftl.FTL
+	dram  *memhier.DRAM
+	xbar  *crossbar.Crossbar // nil for channel-local configurations
+
+	feeders  []*feeder
+	drainers []*drainer
+	tasks    []Task
+
+	liveFeeders int
+	liveCores   int
+	liveDrains  int
+	finishedAt  sim.Time
+	err         error
+}
+
+// New returns an engine bound to the SSD's shared components.
+func New(cfg Config, sched *sim.Scheduler, f *ftl.FTL, dram *memhier.DRAM, xbar *crossbar.Crossbar) *Engine {
+	if cfg.MaxSenses <= 0 {
+		cfg.MaxSenses = 24
+	}
+	return &Engine{cfg: cfg, sched: sched, ftl: f, dram: dram, xbar: xbar}
+}
+
+// Err returns the first data-plane error.
+func (e *Engine) Err() error { return e.err }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Submit wires a request's tasks into the scheduler: feeders for every
+// input stream, drainers for every output stream, and wake plumbing between
+// streams and cores. The caller runs the scheduler afterwards.
+func (e *Engine) Submit(tasks []Task) error {
+	e.tasks = tasks
+	for ti := range tasks {
+		t := &tasks[ti]
+		sys := t.Core.Sys()
+		if len(t.Inputs) > len(sys.Streams.In) {
+			return fmt.Errorf("firmware: task %d has %d inputs, core has %d slots", ti, len(t.Inputs), len(sys.Streams.In))
+		}
+		if len(t.Outputs) > len(sys.Streams.Out) {
+			return fmt.Errorf("firmware: task %d has %d outputs, core has %d slots", ti, len(t.Outputs), len(sys.Streams.Out))
+		}
+		core := t.Core
+		for si := range t.Inputs {
+			fd := &feeder{
+				e:      e,
+				core:   core,
+				coreID: t.CoreID,
+				stream: sys.Streams.In[si],
+				spec:   t.Inputs[si],
+			}
+			e.feeders = append(e.feeders, fd)
+			e.liveFeeders++
+			stream := fd.stream
+			stream.OnPush = func(at sim.Time) {
+				core.Wake(at)
+				e.sched.Wake(core, at)
+			}
+			stream.OnFree = func() { fd.schedulePump() }
+		}
+		for si := range t.Outputs {
+			dr := &drainer{
+				e:      e,
+				core:   core,
+				coreID: t.CoreID,
+				stream: sys.Streams.Out[si],
+				target: t.Outputs[si],
+				lpa:    t.Outputs[si].StartLPA,
+			}
+			e.drainers = append(e.drainers, dr)
+			e.liveDrains++
+			dr.stream.OnData = func() { dr.schedulePump() }
+			dr.stream.OnSpace = func(at sim.Time) {
+				core.Wake(at)
+				e.sched.Wake(core, at)
+			}
+		}
+		e.liveCores++
+		core.OnHalt(func(at sim.Time) {
+			e.liveCores--
+			e.noteProgress(at)
+			// Push drainers to flush remaining partial pages.
+			for _, dr := range e.drainers {
+				if dr.core == core {
+					dr.coreHalted = true
+					dr.schedulePump()
+				}
+			}
+		})
+	}
+	// Kick all feeders at time zero.
+	for _, fd := range e.feeders {
+		fd.schedulePump()
+	}
+	return nil
+}
+
+// LiveCounts reports outstanding work (cores, feeders, drainers) for
+// diagnostics.
+func (e *Engine) LiveCounts() (cores, feeders, drains int) {
+	return e.liveCores, e.liveFeeders, e.liveDrains
+}
+
+// Done reports whether all cores halted, inputs were fully delivered, and
+// outputs fully drained.
+func (e *Engine) Done() bool {
+	return e.liveCores == 0 && e.liveFeeders == 0 && e.liveDrains == 0
+}
+
+// CompletionTime returns the time the request finished (valid once Done).
+func (e *Engine) CompletionTime() sim.Time { return e.finishedAt }
+
+func (e *Engine) noteProgress(at sim.Time) {
+	if at > e.finishedAt {
+		e.finishedAt = at
+	}
+}
+
+// Collected returns the drained output bytes for (coreID, outSlot) drainers
+// with Collect set, in task order.
+func (e *Engine) Collected(coreID, slot int) []byte {
+	idx := 0
+	for _, dr := range e.drainers {
+		if dr.coreID == coreID {
+			if idx == slot {
+				return dr.collected
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// sensedPage is a page whose tR sense completed, waiting for bus transfer.
+type sensedPage struct {
+	data      []byte // already trimmed to the stream window
+	channel   int
+	senseDone sim.Time
+	last      bool
+	rawSize   int // bus occupancy (full page)
+}
+
+// feeder streams one StreamSpec into one input stream buffer.
+type feeder struct {
+	e      *Engine
+	core   *cpu.Core
+	coreID int
+	stream *memhier.InStream
+	spec   StreamSpec
+
+	nextPage  int
+	sensed    []sensedPage
+	claimed   int
+	pumping   bool
+	closed    bool
+	lastAvail sim.Time // enforces in-order delivery across channels
+}
+
+// schedulePump queues a pump event if none is pending.
+func (f *feeder) schedulePump() {
+	if f.pumping || f.closed {
+		return
+	}
+	f.pumping = true
+	f.e.sched.Events.Schedule(f.e.sched.Events.Now(), func(now sim.Time) {
+		f.pumping = false
+		f.pump(now)
+	})
+}
+
+// trimForPage returns the slice of page data inside the stream window and
+// whether the page contributes any bytes.
+func (f *feeder) trimForPage(idx int, data []byte) []byte {
+	ps := int64(f.e.cfg.PageSize)
+	pageStart := int64(idx) * ps
+	pageEnd := pageStart + ps
+	winStart := f.spec.Offset
+	winEnd := f.spec.Offset + f.spec.Length
+	lo := pageStart
+	if winStart > lo {
+		lo = winStart
+	}
+	hi := pageEnd
+	if winEnd < hi {
+		hi = winEnd
+	}
+	if hi <= lo {
+		return nil
+	}
+	return data[lo-pageStart : hi-pageStart]
+}
+
+// pump advances the feeder: issue senses, then gate transfers on window
+// space, then deliver.
+func (f *feeder) pump(now sim.Time) {
+	if f.closed || f.e.err != nil {
+		return
+	}
+	if debugFeeder {
+		fmt.Printf("pump t=%v next=%d sensed=%d claimed=%d buffered=%d head=%d tail=%d\n",
+			now, f.nextPage, len(f.sensed), f.claimed, f.stream.Buffered(), f.stream.Head(), f.stream.Tail())
+	}
+	arr := f.e.ftl.Array()
+	// Phase 1: issue array senses ahead.
+	for f.nextPage < len(f.spec.LPAs) && len(f.sensed) < f.e.cfg.MaxSenses {
+		lpa := f.spec.LPAs[f.nextPage]
+		ppa, ok := f.e.ftl.Lookup(lpa)
+		if !ok {
+			f.e.fail(fmt.Errorf("firmware: unmapped lpa %d", lpa))
+			return
+		}
+		data, senseDone, err := arr.Sense(now, ppa)
+		if err != nil {
+			f.e.fail(err)
+			return
+		}
+		trimmed := f.trimForPage(f.nextPage, data)
+		f.nextPage++
+		f.sensed = append(f.sensed, sensedPage{
+			data:      trimmed,
+			channel:   ppa.Channel,
+			senseDone: senseDone,
+			last:      f.nextPage == len(f.spec.LPAs),
+			rawSize:   f.e.cfg.PageSize,
+		})
+	}
+	// Phase 2: transfer sensed pages while window space allows.
+	for len(f.sensed) > 0 {
+		pg := f.sensed[0]
+		if !f.stream.CanPush(f.claimed + len(pg.data)) {
+			return // wait for OnFree
+		}
+		f.sensed = f.sensed[1:]
+		start := sim.MaxT(now, pg.senseDone)
+		txDone, err := arr.Transfer(start, pg.channel, pg.rawSize)
+		if err != nil {
+			f.e.fail(err)
+			return
+		}
+		avail, err := f.deliver(txDone, pg)
+		if err != nil {
+			f.e.fail(err)
+			return
+		}
+		// Pages from lightly loaded channels must not overtake earlier
+		// pages of the same stream: delivery is in stream order.
+		avail = sim.MaxT(avail, f.lastAvail)
+		f.lastAvail = avail
+		if debugFeeder {
+			fmt.Printf("FTRACE page sense=%v waitTx=%v tx=%v deliver=%v\n",
+				pg.senseDone, sim.MaxT(now, pg.senseDone), txDone, avail)
+		}
+		f.claimed += len(pg.data)
+		last := pg.last
+		data := pg.data
+		f.e.sched.Events.Schedule(avail, func(at sim.Time) {
+			f.claimed -= len(data)
+			if len(data) > 0 {
+				if err := f.stream.Push(data, at); err != nil {
+					f.e.fail(err)
+					return
+				}
+			}
+			if last {
+				f.stream.Close()
+				f.closed = true
+				f.e.liveFeeders--
+				f.e.noteProgress(at)
+				f.core.Wake(at)
+				f.e.sched.Wake(f.core, at)
+			} else {
+				f.schedulePump()
+			}
+		})
+	}
+	// Degenerate empty stream: close immediately.
+	if len(f.spec.LPAs) == 0 && !f.closed {
+		f.stream.Close()
+		f.closed = true
+		f.e.liveFeeders--
+		f.core.Wake(now)
+		f.e.sched.Wake(f.core, now)
+	}
+}
+
+// deliver routes a transferred page along the configured data path and
+// returns when it becomes usable by the core.
+func (f *feeder) deliver(txDone sim.Time, pg sensedPage) (sim.Time, error) {
+	switch f.e.cfg.Path {
+	case PathCrossbar:
+		if f.e.xbar == nil {
+			return txDone, nil // channel-local: controller feeds its core directly
+		}
+		return f.e.xbar.Transfer(txDone, f.coreID, pg.rawSize)
+	case PathDRAMStage:
+		return f.e.dram.Access(txDone, pg.rawSize, true, "fill"), nil
+	case PathDRAMCopy:
+		staged := f.e.dram.Access(txDone, pg.rawSize, true, "fill")
+		return f.e.dram.Access(staged, pg.rawSize, false, "fw-copy"), nil
+	default:
+		return 0, fmt.Errorf("firmware: unknown data path %d", f.e.cfg.Path)
+	}
+}
+
+// drainer empties one output stream buffer.
+type drainer struct {
+	e      *Engine
+	core   *cpu.Core
+	coreID int
+	stream *memhier.OutStream
+	target OutTarget
+
+	lpa        int
+	collected  []byte
+	pumping    bool
+	coreHalted bool
+	finished   bool
+}
+
+func (d *drainer) schedulePump() {
+	if d.pumping || d.finished {
+		return
+	}
+	d.pumping = true
+	d.e.sched.Events.Schedule(d.e.sched.Events.Now(), func(now sim.Time) {
+		d.pumping = false
+		d.pump(now)
+	})
+}
+
+func (d *drainer) pump(now sim.Time) {
+	if d.finished || d.e.err != nil {
+		return
+	}
+	ps := d.stream.PageSize()
+	for {
+		buffered := d.stream.Buffered()
+		if buffered >= ps || (d.coreHalted && buffered > 0) {
+			n := ps
+			if buffered < n {
+				n = buffered
+			}
+			// The space is freed once the page leaves the OSB; for flash
+			// targets that is the bus-transfer completion, for DRAM targets
+			// the DRAM write completion.
+			var freedAt sim.Time
+			data := d.stream.PeekBytes(n)
+			switch d.target.Kind {
+			case OutToFlash:
+				busDone, _, err := d.e.ftl.Write(now, d.lpa, data)
+				if err != nil {
+					d.e.fail(err)
+					return
+				}
+				d.lpa++
+				freedAt = busDone
+			case OutToHost:
+				freedAt = d.e.dram.Access(now, n, true, "result")
+			default:
+				freedAt = now
+			}
+			drained := d.stream.Drain(n, freedAt)
+			if d.target.Collect {
+				d.collected = append(d.collected, drained...)
+			}
+			d.e.noteProgress(freedAt)
+			continue
+		}
+		break
+	}
+	if d.coreHalted && d.stream.Buffered() == 0 {
+		d.finished = true
+		d.e.liveDrains--
+		d.e.noteProgress(now)
+	}
+}

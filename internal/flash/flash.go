@@ -1,0 +1,296 @@
+// Package flash models the SSD's NAND flash array: channels with shared
+// buses (ONFI-style word-serial page transfer), chips with array read /
+// program / erase latencies, and the functional page store. Timing follows
+// the paper's evaluation configuration — 8 channels of 1 GB/s each, with
+// chip-level interleaving hiding the array read time so the channel bus is
+// the per-channel bound.
+package flash
+
+import (
+	"fmt"
+
+	"assasin/internal/sim"
+)
+
+// Config is the array geometry and timing.
+type Config struct {
+	Channels        int
+	ChipsPerChannel int
+	BlocksPerChip   int
+	PagesPerBlock   int
+	PageSize        int
+	// ChannelBandwidth is the page-transfer bandwidth of one channel bus in
+	// bytes/second.
+	ChannelBandwidth float64
+	// ReadLatency (tR) is the array-to-page-register sense time.
+	ReadLatency sim.Time
+	// ProgramLatency (tProg) is the page program time.
+	ProgramLatency sim.Time
+	// EraseLatency (tBERS) is the block erase time.
+	EraseLatency sim.Time
+}
+
+// DefaultConfig matches the paper's 8-channel, 1 GB/s-per-channel SSD with
+// 16 KiB pages and typical TLC NAND latencies.
+func DefaultConfig() Config {
+	return Config{
+		Channels:         8,
+		ChipsPerChannel:  4,
+		BlocksPerChip:    256,
+		PagesPerBlock:    64,
+		PageSize:         16 << 10,
+		ChannelBandwidth: 1e9,
+		ReadLatency:      40 * sim.Microsecond,
+		ProgramLatency:   200 * sim.Microsecond,
+		EraseLatency:     2 * sim.Millisecond,
+	}
+}
+
+// PPA is a physical page address.
+type PPA struct {
+	Channel, Chip, Block, Page int
+}
+
+// String implements fmt.Stringer.
+func (p PPA) String() string {
+	return fmt.Sprintf("ch%d/chip%d/blk%d/pg%d", p.Channel, p.Chip, p.Block, p.Page)
+}
+
+// pageState tracks NAND programming constraints.
+type pageState uint8
+
+const (
+	pageErased pageState = iota
+	pageWritten
+)
+
+type chip struct {
+	nextFree sim.Time
+	// nextPage[block] is the next programmable page index (NAND requires
+	// in-order programming within an erase block).
+	nextPage []int
+	states   []pageState // block*pagesPerBlock + page
+	data     [][]byte
+	reads    int64
+	writes   int64
+	erases   []int64 // per block erase count, for wear-leveling tests
+}
+
+// Array is the flash array: timing and functional content.
+type Array struct {
+	cfg      Config
+	channels []*sim.BandwidthServer
+	chips    [][]*chip
+}
+
+// New returns an erased array.
+func New(cfg Config) *Array {
+	a := &Array{cfg: cfg}
+	a.channels = make([]*sim.BandwidthServer, cfg.Channels)
+	a.chips = make([][]*chip, cfg.Channels)
+	for c := 0; c < cfg.Channels; c++ {
+		a.channels[c] = sim.NewBandwidthServer(fmt.Sprintf("flash-ch%d", c), cfg.ChannelBandwidth, 0)
+		a.chips[c] = make([]*chip, cfg.ChipsPerChannel)
+		for d := 0; d < cfg.ChipsPerChannel; d++ {
+			n := cfg.BlocksPerChip * cfg.PagesPerBlock
+			a.chips[c][d] = &chip{
+				nextPage: make([]int, cfg.BlocksPerChip),
+				states:   make([]pageState, n),
+				data:     make([][]byte, n),
+				erases:   make([]int64, cfg.BlocksPerChip),
+			}
+		}
+	}
+	return a
+}
+
+// Config returns the geometry.
+func (a *Array) Config() Config { return a.cfg }
+
+// TotalPages returns the page count of the whole array.
+func (a *Array) TotalPages() int {
+	return a.cfg.Channels * a.cfg.ChipsPerChannel * a.cfg.BlocksPerChip * a.cfg.PagesPerBlock
+}
+
+// TotalBandwidth returns the aggregate channel bandwidth in bytes/second.
+func (a *Array) TotalBandwidth() float64 {
+	return float64(a.cfg.Channels) * a.cfg.ChannelBandwidth
+}
+
+func (a *Array) validate(p PPA) error {
+	if p.Channel < 0 || p.Channel >= a.cfg.Channels ||
+		p.Chip < 0 || p.Chip >= a.cfg.ChipsPerChannel ||
+		p.Block < 0 || p.Block >= a.cfg.BlocksPerChip ||
+		p.Page < 0 || p.Page >= a.cfg.PagesPerBlock {
+		return fmt.Errorf("flash: invalid ppa %v", p)
+	}
+	return nil
+}
+
+func (a *Array) chipAt(p PPA) *chip { return a.chips[p.Channel][p.Chip] }
+
+func (a *Array) pageIndex(p PPA) int { return p.Block*a.cfg.PagesPerBlock + p.Page }
+
+// Sense performs the array-to-page-register read of one page (the tR
+// phase), occupying the chip. It returns the page contents and the sense
+// completion time; the bus transfer is issued separately with Transfer so
+// the flash controller can gate it on downstream buffer space. Reading an
+// erased page returns all-0xFF data, as real NAND does.
+func (a *Array) Sense(at sim.Time, p PPA) ([]byte, sim.Time, error) {
+	if err := a.validate(p); err != nil {
+		return nil, 0, err
+	}
+	ch := a.chipAt(p)
+	start := sim.MaxT(at, ch.nextFree)
+	senseDone := start + a.cfg.ReadLatency
+	ch.nextFree = senseDone
+	ch.reads++
+	idx := a.pageIndex(p)
+	data := ch.data[idx]
+	if data == nil {
+		data = make([]byte, a.cfg.PageSize)
+		for i := range data {
+			data[i] = 0xFF
+		}
+	}
+	return data, senseDone, nil
+}
+
+// Transfer moves size bytes (up to one page) over a channel bus at time at,
+// returning the completion time.
+func (a *Array) Transfer(at sim.Time, channel, size int) (sim.Time, error) {
+	if channel < 0 || channel >= a.cfg.Channels {
+		return 0, fmt.Errorf("flash: invalid channel %d", channel)
+	}
+	if size <= 0 || size > a.cfg.PageSize {
+		return 0, fmt.Errorf("flash: invalid transfer size %d", size)
+	}
+	return a.channels[channel].Access(at, size), nil
+}
+
+// Read senses and transfers one page — the convenience composition of Sense
+// and Transfer used when buffer-space gating is not needed.
+func (a *Array) Read(at sim.Time, p PPA) ([]byte, sim.Time, error) {
+	data, senseDone, err := a.Sense(at, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	done, err := a.Transfer(senseDone, p.Channel, a.cfg.PageSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, done, nil
+}
+
+// Write transfers and programs one page. It returns both the bus-transfer
+// completion (when the source buffer can be reused) and the program
+// completion (when the data is durable). NAND constraints are enforced: the
+// target page must be erased and pages within a block must be programmed in
+// order.
+func (a *Array) Write(at sim.Time, p PPA, data []byte) (busDone, progDone sim.Time, err error) {
+	if err := a.validate(p); err != nil {
+		return 0, 0, err
+	}
+	if len(data) > a.cfg.PageSize {
+		return 0, 0, fmt.Errorf("flash: write of %d bytes exceeds page size %d", len(data), a.cfg.PageSize)
+	}
+	ch := a.chipAt(p)
+	idx := a.pageIndex(p)
+	if ch.states[idx] != pageErased {
+		return 0, 0, fmt.Errorf("flash: program of non-erased page %v", p)
+	}
+	if ch.nextPage[p.Block] != p.Page {
+		return 0, 0, fmt.Errorf("flash: out-of-order program %v (next programmable page is %d)", p, ch.nextPage[p.Block])
+	}
+	busDone = a.channels[p.Channel].Access(at, a.cfg.PageSize)
+	start := sim.MaxT(busDone, ch.nextFree)
+	progDone = start + a.cfg.ProgramLatency
+	ch.nextFree = progDone
+	ch.writes++
+	stored := make([]byte, a.cfg.PageSize)
+	copy(stored, data)
+	ch.data[idx] = stored
+	ch.states[idx] = pageWritten
+	ch.nextPage[p.Block] = p.Page + 1
+	return busDone, progDone, nil
+}
+
+// Erase erases one block.
+func (a *Array) Erase(at sim.Time, channel, chipIdx, block int) (sim.Time, error) {
+	p := PPA{Channel: channel, Chip: chipIdx, Block: block}
+	if err := a.validate(p); err != nil {
+		return 0, err
+	}
+	ch := a.chips[channel][chipIdx]
+	start := sim.MaxT(at, ch.nextFree)
+	done := start + a.cfg.EraseLatency
+	ch.nextFree = done
+	base := block * a.cfg.PagesPerBlock
+	for i := 0; i < a.cfg.PagesPerBlock; i++ {
+		ch.states[base+i] = pageErased
+		ch.data[base+i] = nil
+	}
+	ch.nextPage[block] = 0
+	ch.erases[block]++
+	return done, nil
+}
+
+// InstallPage stores page contents functionally without consuming simulated
+// time — used to set up experiment datasets (the equivalent of the drive
+// having been written in the past). NAND ordering constraints still apply.
+func (a *Array) InstallPage(p PPA, data []byte) error {
+	if err := a.validate(p); err != nil {
+		return err
+	}
+	if len(data) > a.cfg.PageSize {
+		return fmt.Errorf("flash: install of %d bytes exceeds page size %d", len(data), a.cfg.PageSize)
+	}
+	ch := a.chipAt(p)
+	idx := a.pageIndex(p)
+	if ch.states[idx] != pageErased {
+		return fmt.Errorf("flash: install on non-erased page %v", p)
+	}
+	if ch.nextPage[p.Block] != p.Page {
+		return fmt.Errorf("flash: out-of-order install %v (next is %d)", p, ch.nextPage[p.Block])
+	}
+	stored := make([]byte, a.cfg.PageSize)
+	copy(stored, data)
+	ch.data[idx] = stored
+	ch.states[idx] = pageWritten
+	ch.nextPage[p.Block] = p.Page + 1
+	return nil
+}
+
+// PeekPage returns the stored contents without timing (for verification).
+func (a *Array) PeekPage(p PPA) ([]byte, error) {
+	if err := a.validate(p); err != nil {
+		return nil, err
+	}
+	return a.chipAt(p).data[a.pageIndex(p)], nil
+}
+
+// IsErased reports whether the page is in the erased state.
+func (a *Array) IsErased(p PPA) bool {
+	if a.validate(p) != nil {
+		return false
+	}
+	return a.chipAt(p).states[a.pageIndex(p)] == pageErased
+}
+
+// EraseCount returns how many times a block has been erased.
+func (a *Array) EraseCount(channel, chipIdx, block int) int64 {
+	return a.chips[channel][chipIdx].erases[block]
+}
+
+// ChannelBytes returns the bytes transferred on one channel bus.
+func (a *Array) ChannelBytes(channel int) int64 { return a.channels[channel].Bytes() }
+
+// ChannelBusy returns one channel bus's total occupied time.
+func (a *Array) ChannelBusy(channel int) sim.Time { return a.channels[channel].BusyTime() }
+
+// ChannelNextFree returns when the channel bus frees up (for admission
+// control in the firmware's read scheduler).
+func (a *Array) ChannelNextFree(channel int) sim.Time { return a.channels[channel].NextFree() }
+
+// ChipReads returns a chip's page read count.
+func (a *Array) ChipReads(channel, chipIdx int) int64 { return a.chips[channel][chipIdx].reads }

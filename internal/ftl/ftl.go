@@ -1,0 +1,388 @@
+// Package ftl implements the flash translation layer: page-level
+// logical-to-physical mapping, write allocation with pluggable placement
+// policies, garbage collection, and erase-count-aware (wear-leveling) block
+// selection.
+//
+// A key architectural point of the paper is that ASSASIN's crossbar leaves
+// the FTL completely independent — no computational-storage-aware placement
+// is needed. This FTL is therefore a conventional one: the default policy
+// stripes logical pages across channels for storage performance, exactly
+// what MQSim's FTL does in the paper's scalability experiment (Fig. 18).
+// A skewed policy exists to *construct* the uneven layouts of the Fig. 19
+// sensitivity study.
+package ftl
+
+import (
+	"fmt"
+
+	"assasin/internal/flash"
+	"assasin/internal/sim"
+)
+
+// Policy chooses the target channel for a logical page write.
+type Policy interface {
+	// Channel returns the channel for lpa given n channels.
+	Channel(lpa, n int) int
+	// Name labels the policy.
+	Name() string
+}
+
+// StripedPolicy round-robins logical pages across channels — the
+// conventional bandwidth-maximizing layout.
+type StripedPolicy struct{}
+
+// Channel implements Policy.
+func (StripedPolicy) Channel(lpa, n int) int { return lpa % n }
+
+// Name implements Policy.
+func (StripedPolicy) Name() string { return "striped" }
+
+// SkewedPolicy concentrates a fraction Skew of logical pages on channel 0
+// and stripes the remainder, giving channel 0 the share
+// Skew + (1-Skew)/n — the layout-skew knob of the paper's Fig. 19
+// (Skew 0 = balanced, 1 = everything on one channel).
+type SkewedPolicy struct {
+	Skew float64
+}
+
+// Channel implements Policy. The skewed subset is selected by a hash so hot
+// pages interleave with striped ones along the logical address space.
+func (p SkewedPolicy) Channel(lpa, n int) int {
+	// Fibonacci hash to [0,1).
+	h := uint32(lpa) * 2654435761
+	if float64(h)/float64(1<<32) < p.Skew {
+		return 0
+	}
+	return lpa % n
+}
+
+// Name implements Policy.
+func (p SkewedPolicy) Name() string { return fmt.Sprintf("skewed(%.2f)", p.Skew) }
+
+// blockID identifies an erase block within the array.
+type blockID struct {
+	channel, chip, block int
+}
+
+type blockState struct {
+	valid  int  // valid pages
+	open   bool // currently receiving writes
+	filled int  // pages programmed (write pointer)
+}
+
+// FTL is the flash translation layer over one flash.Array.
+type FTL struct {
+	arr    *flash.Array
+	cfg    flash.Config
+	policy Policy
+
+	l2p []flash.PPA // logical -> physical; Page == -1 means unmapped
+	p2l []int       // physical page index -> lpa (-1 invalid)
+
+	blocks map[blockID]*blockState
+	// free blocks per (channel, chip)
+	free [][]map[int]bool
+	// openBlock per (channel, chip): the block receiving writes
+	open [][]int
+
+	// GCThreshold triggers collection when a (channel, chip) pair's free
+	// block count drops to it.
+	GCThreshold int
+
+	stats Stats
+}
+
+// Stats counts FTL activity.
+type Stats struct {
+	HostWrites    int64 // pages written by the host/firmware
+	GCWrites      int64 // pages migrated by garbage collection
+	Erases        int64
+	GCInvocations int64
+}
+
+// WriteAmplification returns (host+gc)/host writes.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 1
+	}
+	return float64(s.HostWrites+s.GCWrites) / float64(s.HostWrites)
+}
+
+// New returns an FTL over arr with the given placement policy.
+func New(arr *flash.Array, policy Policy) *FTL {
+	cfg := arr.Config()
+	if policy == nil {
+		policy = StripedPolicy{}
+	}
+	total := arr.TotalPages()
+	f := &FTL{
+		arr:         arr,
+		cfg:         cfg,
+		policy:      policy,
+		l2p:         make([]flash.PPA, total),
+		p2l:         make([]int, total),
+		blocks:      make(map[blockID]*blockState),
+		GCThreshold: 2,
+	}
+	for i := range f.l2p {
+		f.l2p[i].Page = -1
+		f.p2l[i] = -1
+	}
+	f.free = make([][]map[int]bool, cfg.Channels)
+	f.open = make([][]int, cfg.Channels)
+	for c := 0; c < cfg.Channels; c++ {
+		f.free[c] = make([]map[int]bool, cfg.ChipsPerChannel)
+		f.open[c] = make([]int, cfg.ChipsPerChannel)
+		for d := 0; d < cfg.ChipsPerChannel; d++ {
+			f.free[c][d] = make(map[int]bool, cfg.BlocksPerChip)
+			for b := 0; b < cfg.BlocksPerChip; b++ {
+				f.free[c][d][b] = true
+			}
+			f.open[c][d] = -1
+		}
+	}
+	return f
+}
+
+// Array returns the underlying flash array.
+func (f *FTL) Array() *flash.Array { return f.arr }
+
+// Stats returns a copy of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// UserPages returns the logical capacity in pages (with ~12.5%
+// over-provisioning reserved for GC headroom).
+func (f *FTL) UserPages() int { return f.arr.TotalPages() * 7 / 8 }
+
+// Lookup returns the physical address of lpa.
+func (f *FTL) Lookup(lpa int) (flash.PPA, bool) {
+	if lpa < 0 || lpa >= len(f.l2p) || f.l2p[lpa].Page < 0 {
+		return flash.PPA{}, false
+	}
+	return f.l2p[lpa], true
+}
+
+func (f *FTL) ppaIndex(p flash.PPA) int {
+	perChip := f.cfg.BlocksPerChip * f.cfg.PagesPerBlock
+	perChannel := perChip * f.cfg.ChipsPerChannel
+	return p.Channel*perChannel + p.Chip*perChip + p.Block*f.cfg.PagesPerBlock + p.Page
+}
+
+// pickFreeBlock selects the free block with the lowest erase count on
+// (channel, chip) — the wear-leveling decision.
+func (f *FTL) pickFreeBlock(channel, chip int) (int, error) {
+	best := -1
+	var bestWear int64
+	for b := range f.free[channel][chip] {
+		w := f.arr.EraseCount(channel, chip, b)
+		if best == -1 || w < bestWear || (w == bestWear && b < best) {
+			best = b
+			bestWear = w
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("ftl: no free block on ch%d/chip%d", channel, chip)
+	}
+	delete(f.free[channel][chip], best)
+	return best, nil
+}
+
+// nextSlot returns the PPA to program next on (channel, chip), opening a new
+// block if needed.
+func (f *FTL) nextSlot(channel, chip int) (flash.PPA, error) {
+	ob := f.open[channel][chip]
+	var st *blockState
+	if ob >= 0 {
+		st = f.blocks[blockID{channel, chip, ob}]
+		if st.filled >= f.cfg.PagesPerBlock {
+			st.open = false
+			ob = -1
+		}
+	}
+	if ob < 0 {
+		b, err := f.pickFreeBlock(channel, chip)
+		if err != nil {
+			return flash.PPA{}, err
+		}
+		ob = b
+		f.open[channel][chip] = b
+		st = &blockState{open: true}
+		f.blocks[blockID{channel, chip, b}] = st
+	}
+	return flash.PPA{Channel: channel, Chip: chip, Block: ob, Page: st.filled}, nil
+}
+
+// chipForWrite spreads logical pages across a channel's chips by hash.
+// A plain (lpa/channels)%chips round-robin leaves equal-sized sequential
+// readers marching over the same chip row in lockstep, convoying on the
+// 25 µs array-read time; hashing decorrelates concurrent streams, as
+// arrival-order die striping does in a real FTL.
+func (f *FTL) chipForWrite(channel, lpa int) int {
+	h := uint32(lpa/f.cfg.Channels) * 2654435761
+	return int(h>>16) % f.cfg.ChipsPerChannel
+}
+
+// Write programs a logical page at time at. It returns the bus-transfer
+// completion (when the source buffer is reusable) and the program completion
+// (when the data is durable). Old mappings are invalidated; GC runs when the
+// target (channel, chip) runs low on free blocks.
+func (f *FTL) Write(at sim.Time, lpa int, data []byte) (busDone, progDone sim.Time, err error) {
+	return f.write(at, lpa, data, false)
+}
+
+func (f *FTL) write(at sim.Time, lpa int, data []byte, gc bool) (busDone, progDone sim.Time, err error) {
+	if lpa < 0 || lpa >= f.UserPages() {
+		return 0, 0, fmt.Errorf("ftl: lpa %d out of capacity %d", lpa, f.UserPages())
+	}
+	channel := f.policy.Channel(lpa, f.cfg.Channels)
+	chip := f.chipForWrite(channel, lpa)
+	ppa, err := f.nextSlot(channel, chip)
+	if err != nil {
+		return 0, 0, err
+	}
+	busDone, progDone, err = f.arr.Write(at, ppa, data)
+	if err != nil {
+		return 0, 0, err
+	}
+	f.commitMapping(lpa, ppa)
+	if gc {
+		f.stats.GCWrites++
+	} else {
+		f.stats.HostWrites++
+	}
+	if len(f.free[channel][chip]) <= f.GCThreshold {
+		if err := f.collect(at, channel, chip); err != nil {
+			return 0, 0, err
+		}
+	}
+	return busDone, progDone, nil
+}
+
+// Install maps and stores a logical page without consuming simulated time
+// (dataset setup).
+func (f *FTL) Install(lpa int, data []byte) error {
+	if lpa < 0 || lpa >= f.UserPages() {
+		return fmt.Errorf("ftl: lpa %d out of capacity %d", lpa, f.UserPages())
+	}
+	channel := f.policy.Channel(lpa, f.cfg.Channels)
+	chip := f.chipForWrite(channel, lpa)
+	ppa, err := f.nextSlot(channel, chip)
+	if err != nil {
+		return err
+	}
+	if err := f.arr.InstallPage(ppa, data); err != nil {
+		return err
+	}
+	f.commitMapping(lpa, ppa)
+	f.stats.HostWrites++
+	return nil
+}
+
+func (f *FTL) commitMapping(lpa int, ppa flash.PPA) {
+	// Invalidate the old physical page.
+	if old := f.l2p[lpa]; old.Page >= 0 {
+		if st := f.blocks[blockID{old.Channel, old.Chip, old.Block}]; st != nil {
+			st.valid--
+		}
+		f.p2l[f.ppaIndex(old)] = -1
+	}
+	f.l2p[lpa] = ppa
+	f.p2l[f.ppaIndex(ppa)] = lpa
+	st := f.blocks[blockID{ppa.Channel, ppa.Chip, ppa.Block}]
+	st.valid++
+	st.filled++
+}
+
+// Read returns the contents and completion time of a logical page read.
+func (f *FTL) Read(at sim.Time, lpa int) ([]byte, sim.Time, error) {
+	ppa, ok := f.Lookup(lpa)
+	if !ok {
+		return nil, 0, fmt.Errorf("ftl: read of unmapped lpa %d", lpa)
+	}
+	return f.arr.Read(at, ppa)
+}
+
+// collect performs greedy garbage collection on (channel, chip): it picks
+// the closed block with the fewest valid pages, migrates them, and erases.
+func (f *FTL) collect(at sim.Time, channel, chip int) error {
+	f.stats.GCInvocations++
+	victim := -1
+	var victimState *blockState
+	var victimWear int64
+	for b := 0; b < f.cfg.BlocksPerChip; b++ {
+		id := blockID{channel, chip, b}
+		st := f.blocks[id]
+		if st == nil || st.open || st.filled < f.cfg.PagesPerBlock {
+			continue
+		}
+		wear := f.arr.EraseCount(channel, chip, b)
+		// Greedy min-valid victim; equal-valid ties prefer the least-worn
+		// block so erase cycles rotate across the whole chip.
+		if victimState == nil || st.valid < victimState.valid ||
+			(st.valid == victimState.valid && wear < victimWear) {
+			victim = b
+			victimState = st
+			victimWear = wear
+		}
+	}
+	if victim < 0 {
+		return nil // nothing collectable yet
+	}
+	// Migrate valid pages.
+	base := f.ppaIndex(flash.PPA{Channel: channel, Chip: chip, Block: victim})
+	for pg := 0; pg < f.cfg.PagesPerBlock; pg++ {
+		lpa := f.p2l[base+pg]
+		if lpa < 0 {
+			continue
+		}
+		data, _, err := f.arr.Read(at, flash.PPA{Channel: channel, Chip: chip, Block: victim, Page: pg})
+		if err != nil {
+			return fmt.Errorf("ftl: gc read: %w", err)
+		}
+		if _, _, err := f.write(at, lpa, data, true); err != nil {
+			return fmt.Errorf("ftl: gc migrate: %w", err)
+		}
+	}
+	if _, err := f.arr.Erase(at, channel, chip, victim); err != nil {
+		return fmt.Errorf("ftl: gc erase: %w", err)
+	}
+	f.stats.Erases++
+	delete(f.blocks, blockID{channel, chip, victim})
+	f.free[channel][chip][victim] = true
+	return nil
+}
+
+// FreeBlocks returns the free-block count on (channel, chip).
+func (f *FTL) FreeBlocks(channel, chip int) int { return len(f.free[channel][chip]) }
+
+// ChannelPageCounts returns, for a set of logical pages, how many map to
+// each channel — the D_i distribution of the skew study.
+func (f *FTL) ChannelPageCounts(lpas []int) []int {
+	counts := make([]int, f.cfg.Channels)
+	for _, lpa := range lpas {
+		if ppa, ok := f.Lookup(lpa); ok {
+			counts[ppa.Channel]++
+		}
+	}
+	return counts
+}
+
+// Skew computes the paper's layout-skew metric for a set of logical pages:
+// Skew = (n/(n-1)) · (max_i(D_i)/ΣD_i − 1/n), which is 0 for a perfectly
+// even layout and 1 when all data sits on one channel.
+func (f *FTL) Skew(lpas []int) float64 {
+	counts := f.ChannelPageCounts(lpas)
+	n := float64(len(counts))
+	total := 0
+	max := 0
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 || n <= 1 {
+		return 0
+	}
+	return (n / (n - 1)) * (float64(max)/float64(total) - 1/n)
+}

@@ -1,0 +1,66 @@
+package host
+
+import (
+	"testing"
+
+	"assasin/internal/sim"
+	"assasin/internal/tpch"
+)
+
+func TestTransferTime(t *testing.T) {
+	m := New(DefaultConfig())
+	if got := m.TransferTime(8e9); got != sim.Second {
+		t.Fatalf("8GB at 8GB/s = %v, want 1s", got)
+	}
+	if m.TransferTime(0) != 0 || m.TransferTime(-5) != 0 {
+		t.Error("degenerate transfers not zero")
+	}
+}
+
+func TestComputeTimeSplitsParse(t *testing.T) {
+	m := New(Config{PCIeBandwidth: 8e9, WorkRate: 1e9, ParseRate: 0.5e9})
+	w := tpch.WorkMeter{ParseUnits: 1e9, JoinUnits: 1e9}
+	// 1e9 parse units at 0.5e9/s = 2s; 1e9 join units at 1e9/s = 1s.
+	if got := m.ComputeTime(w); got != 3*sim.Second {
+		t.Fatalf("compute time = %v, want 3s", got)
+	}
+}
+
+func TestOffloadedDropsParseWork(t *testing.T) {
+	m := New(DefaultConfig())
+	w := tpch.WorkMeter{ParseUnits: 1e12, AggUnits: 1e6}
+	off := m.Offloaded(sim.Millisecond, 1000, w)
+	// The huge parse term must be gone.
+	if off.Host > sim.Second {
+		t.Fatalf("offloaded host time %v still includes parse", off.Host)
+	}
+	if off.SSD != sim.Millisecond {
+		t.Error("ssd time not carried")
+	}
+}
+
+func TestQueryLatencyStacks(t *testing.T) {
+	l := QueryLatency{SSD: 1 * sim.Millisecond, Transfer: 2 * sim.Millisecond, Host: 3 * sim.Millisecond}
+	if l.Total() != 6*sim.Millisecond {
+		t.Fatal("Total is not the stacked sum")
+	}
+}
+
+func TestOffloadBeatsPureCPUOnScanHeavyQuery(t *testing.T) {
+	m := New(DefaultConfig())
+	tableBytes := int64(100 << 20)
+	work := tpch.WorkMeter{ParseUnits: float64(tableBytes), AggUnits: 1e6}
+	pure := m.PureCPU(tableBytes, work)
+	// The SSD parses at a few GB/s aggregate; say 50 ms for 100 MB.
+	off := m.Offloaded(50*sim.Millisecond, 1<<20, work)
+	if off.Total() >= pure.Total() {
+		t.Fatalf("offload %v not faster than pure %v on a scan-heavy query", off.Total(), pure.Total())
+	}
+}
+
+func TestZeroConfigFallsBack(t *testing.T) {
+	m := New(Config{})
+	if m.TransferTime(8e9) != sim.Second {
+		t.Error("zero config did not adopt defaults")
+	}
+}

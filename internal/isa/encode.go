@@ -1,0 +1,176 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. All instructions are 32 bits, in the spirit of the
+// fixed-width "instruction format [31:0]" column of Table III:
+//
+//	[6:0]   opcode (the Op value)
+//	[11:7]  rd
+//	[16:12] rs1
+//	[21:17] rs2
+//	[31:22] reserved for the base format
+//
+// Immediates overlay the upper bits depending on the operation:
+//
+//	ALU-immediate / loads / stores / branches / jumps:
+//	    [31:17] (stores/branches: rs2 moves to [11:7]'s slot? no —
+//	    see below) 15-bit signed immediate for I-type,
+//	    for S/B-types the immediate is split exactly like the structural
+//	    fields allow.
+//
+// To keep the format honest but simple, the encoder uses three layouts:
+//
+//	I-layout (ALU-imm, loads, jalr):  imm[31:17] rs1[16:12] rd[11:7] op[6:0]
+//	S-layout (stores, branches):      imm[31:22] rs2[21:17] rs1[16:12] imm[11:7] op[6:0]
+//	                                  (15-bit immediate = [31:22]·32 + [11:7])
+//	U-layout (lui, jal):              imm[31:12] rd[11:7] op[6:0]
+//	R-layout (reg-reg):               rs2[21:17] rs1[16:12] rd[11:7] op[6:0]
+//	Z-layout (stream ops):            imm[31:20] width[19:17] stream[16:13]
+//	                                  rs2[12:8]? — stream ops carry one reg:
+//	                                  reg[11:7] doubles as rd or rs2.
+//
+// Immediate ranges are validated at encode time; the asm package keeps
+// kernel immediates comfortably inside them.
+const (
+	iImmBits = 15 // I-layout signed immediate
+	sImmBits = 15 // S-layout signed immediate (split 10+5)
+	uImmBits = 20 // U-layout immediate
+	zImmBits = 12 // stream-op signed immediate
+)
+
+func fits(v int32, bits int) bool {
+	min := -(int32(1) << (bits - 1))
+	max := (int32(1) << (bits - 1)) - 1
+	return v >= min && v <= max
+}
+
+func fitsU(v int32, bits int) bool {
+	return v >= 0 && v < (int32(1)<<bits)
+}
+
+// Encode packs the instruction into its 32-bit binary form.
+func Encode(i Inst) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid op %d", i.Op)
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", i.Op)
+	}
+	w := uint32(i.Op) & 0x7f
+	switch i.Op {
+	case OpLui, OpJal: // U-layout
+		if i.Op == OpLui && !fitsU(i.Imm, uImmBits) || i.Op == OpJal && !fits(i.Imm, uImmBits) {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of range", i.Op, i.Imm)
+		}
+		w |= uint32(i.Rd) << 7
+		w |= (uint32(i.Imm) & 0xfffff) << 12
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu,
+		OpLb, OpLbu, OpLh, OpLhu, OpLw, OpJalr: // I-layout
+		if !fits(i.Imm, iImmBits) {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of range", i.Op, i.Imm)
+		}
+		w |= uint32(i.Rd) << 7
+		w |= uint32(i.Rs1) << 12
+		w |= (uint32(i.Imm) & 0x7fff) << 17
+	case OpSb, OpSh, OpSw, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu: // S-layout
+		if !fits(i.Imm, sImmBits) {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of range", i.Op, i.Imm)
+		}
+		imm := uint32(i.Imm) & 0x7fff
+		w |= (imm & 0x1f) << 7 // imm[4:0]
+		w |= uint32(i.Rs1) << 12
+		w |= uint32(i.Rs2) << 17
+		w |= (imm >> 5) << 22 // imm[14:5]
+	case OpStreamLoad, OpStreamPeek, OpStreamAdv, OpStreamStore, OpStreamEnd, OpStreamCsrR: // Z-layout
+		if !fits(i.Imm, zImmBits) {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of range", i.Op, i.Imm)
+		}
+		if i.Stream >= 16 {
+			return 0, fmt.Errorf("isa: encode %s: stream %d out of range", i.Op, i.Stream)
+		}
+		var wenc uint32
+		switch i.Width {
+		case 0, 1:
+			wenc = 0
+		case 2:
+			wenc = 1
+		case 4:
+			wenc = 2
+		default:
+			return 0, fmt.Errorf("isa: encode %s: width %d unsupported", i.Op, i.Width)
+		}
+		reg := i.Rd
+		if i.Op == OpStreamStore {
+			reg = i.Rs2
+		}
+		w |= uint32(reg) << 7
+		w |= uint32(i.Stream) << 13
+		w |= wenc << 17
+		w |= (uint32(i.Imm) & 0xfff) << 20
+	case OpHalt:
+		// opcode only
+	default: // R-layout
+		w |= uint32(i.Rd) << 7
+		w |= uint32(i.Rs1) << 12
+		w |= uint32(i.Rs2) << 17
+	}
+	return w, nil
+}
+
+func signExtend(v uint32, bits int) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit word produced by Encode.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w & 0x7f)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode: invalid opcode %d", w&0x7f)
+	}
+	i := Inst{Op: op}
+	switch op {
+	case OpLui:
+		i.Rd = uint8((w >> 7) & 0x1f)
+		i.Imm = int32((w >> 12) & 0xfffff)
+	case OpJal:
+		i.Rd = uint8((w >> 7) & 0x1f)
+		i.Imm = signExtend((w>>12)&0xfffff, uImmBits)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu,
+		OpLb, OpLbu, OpLh, OpLhu, OpLw, OpJalr:
+		i.Rd = uint8((w >> 7) & 0x1f)
+		i.Rs1 = uint8((w >> 12) & 0x1f)
+		i.Imm = signExtend((w>>17)&0x7fff, iImmBits)
+	case OpSb, OpSh, OpSw, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		lo := (w >> 7) & 0x1f
+		i.Rs1 = uint8((w >> 12) & 0x1f)
+		i.Rs2 = uint8((w >> 17) & 0x1f)
+		hi := (w >> 22) & 0x3ff
+		i.Imm = signExtend(hi<<5|lo, sImmBits)
+	case OpStreamLoad, OpStreamPeek, OpStreamAdv, OpStreamStore, OpStreamEnd, OpStreamCsrR:
+		reg := uint8((w >> 7) & 0x1f)
+		if op == OpStreamStore {
+			i.Rs2 = reg
+		} else {
+			i.Rd = reg
+		}
+		i.Stream = uint8((w >> 13) & 0xf)
+		switch (w >> 17) & 0x7 {
+		case 0:
+			i.Width = 1
+		case 1:
+			i.Width = 2
+		case 2:
+			i.Width = 4
+		}
+		i.Imm = signExtend((w>>20)&0xfff, zImmBits)
+	case OpHalt:
+		// nothing
+	default:
+		i.Rd = uint8((w >> 7) & 0x1f)
+		i.Rs1 = uint8((w >> 12) & 0x1f)
+		i.Rs2 = uint8((w >> 17) & 0x1f)
+	}
+	return i, nil
+}

@@ -1,0 +1,270 @@
+// Package isa defines the instruction set executed by the simulated in-SSD
+// compute engines: a 32-bit scalar RISC ISA modelled on RV32IM (the ibex
+// cores the paper evaluates) plus the ASSASIN stream extension of Table III
+// (StreamLoad, StreamStore, StreamPeek, StreamAdvance, StreamEnd and stream
+// CSR access).
+//
+// Instructions are represented structurally (Inst) for fast interpretation,
+// with a 32-bit binary encoding (Encode/Decode) mirroring the fixed-width
+// format sketched in the paper.
+package isa
+
+import "fmt"
+
+// Op enumerates operations. The numeric values are part of the binary
+// encoding (the 7-bit opcode field), so new ops must be appended.
+type Op uint8
+
+// Operations. Names follow RISC-V mnemonics where the semantics match.
+const (
+	OpInvalid Op = iota
+
+	// Register-register integer ops.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+
+	// Register-immediate integer ops.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpSltiu
+	OpLui
+
+	// M extension.
+	OpMul
+	OpMulh
+	OpMulhu
+	OpDiv
+	OpDivu
+	OpRem
+	OpRemu
+
+	// Loads and stores (byte, half, word; loads sign- or zero-extend).
+	OpLb
+	OpLbu
+	OpLh
+	OpLhu
+	OpLw
+	OpSb
+	OpSh
+	OpSw
+
+	// Control flow.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal
+	OpJalr
+
+	// ASSASIN stream extension (Table III). Stream identifies an input or
+	// output stream slot in the core's stream buffers; Width is the access
+	// width in bytes (1, 2 or 4).
+	OpStreamLoad  // rd ← next Width bytes of input stream; advances Head
+	OpStreamPeek  // rd ← Width bytes at Head + Imm; Head unchanged
+	OpStreamAdv   // Head of input stream += Imm*Width bytes
+	OpStreamStore // append low Width bytes of rs2 to output stream
+	OpStreamEnd   // rd ← 1 if the input stream is exhausted, else 0
+	OpStreamCsrR  // rd ← stream CSR (Imm selects Head/Tail; Stream selects slot)
+
+	// Environment.
+	OpHalt // terminate the program
+
+	opCount
+)
+
+// Class groups operations by their timing behaviour in the core model.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassStreamLoad
+	ClassStreamStore
+	ClassStreamCtl
+	ClassHalt
+)
+
+var opInfo = [opCount]struct {
+	name  string
+	class Class
+}{
+	OpInvalid:     {"invalid", ClassALU},
+	OpAdd:         {"add", ClassALU},
+	OpSub:         {"sub", ClassALU},
+	OpAnd:         {"and", ClassALU},
+	OpOr:          {"or", ClassALU},
+	OpXor:         {"xor", ClassALU},
+	OpSll:         {"sll", ClassALU},
+	OpSrl:         {"srl", ClassALU},
+	OpSra:         {"sra", ClassALU},
+	OpSlt:         {"slt", ClassALU},
+	OpSltu:        {"sltu", ClassALU},
+	OpAddi:        {"addi", ClassALU},
+	OpAndi:        {"andi", ClassALU},
+	OpOri:         {"ori", ClassALU},
+	OpXori:        {"xori", ClassALU},
+	OpSlli:        {"slli", ClassALU},
+	OpSrli:        {"srli", ClassALU},
+	OpSrai:        {"srai", ClassALU},
+	OpSlti:        {"slti", ClassALU},
+	OpSltiu:       {"sltiu", ClassALU},
+	OpLui:         {"lui", ClassALU},
+	OpMul:         {"mul", ClassMul},
+	OpMulh:        {"mulh", ClassMul},
+	OpMulhu:       {"mulhu", ClassMul},
+	OpDiv:         {"div", ClassDiv},
+	OpDivu:        {"divu", ClassDiv},
+	OpRem:         {"rem", ClassDiv},
+	OpRemu:        {"remu", ClassDiv},
+	OpLb:          {"lb", ClassLoad},
+	OpLbu:         {"lbu", ClassLoad},
+	OpLh:          {"lh", ClassLoad},
+	OpLhu:         {"lhu", ClassLoad},
+	OpLw:          {"lw", ClassLoad},
+	OpSb:          {"sb", ClassStore},
+	OpSh:          {"sh", ClassStore},
+	OpSw:          {"sw", ClassStore},
+	OpBeq:         {"beq", ClassBranch},
+	OpBne:         {"bne", ClassBranch},
+	OpBlt:         {"blt", ClassBranch},
+	OpBge:         {"bge", ClassBranch},
+	OpBltu:        {"bltu", ClassBranch},
+	OpBgeu:        {"bgeu", ClassBranch},
+	OpJal:         {"jal", ClassJump},
+	OpJalr:        {"jalr", ClassJump},
+	OpStreamLoad:  {"streamload", ClassStreamLoad},
+	OpStreamPeek:  {"streampeek", ClassStreamLoad},
+	OpStreamAdv:   {"streamadv", ClassStreamCtl},
+	OpStreamStore: {"streamstore", ClassStreamStore},
+	OpStreamEnd:   {"streamend", ClassStreamCtl},
+	OpStreamCsrR:  {"streamcsrr", ClassStreamCtl},
+	OpHalt:        {"halt", ClassHalt},
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opInfo) {
+		return opInfo[o].name
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// Class returns the timing class.
+func (o Op) Class() Class {
+	if int(o) < len(opInfo) {
+		return opInfo[o].class
+	}
+	return ClassALU
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o > OpInvalid && o < opCount }
+
+// IsStream reports whether o belongs to the ASSASIN stream extension.
+func (o Op) IsStream() bool {
+	switch o.Class() {
+	case ClassStreamLoad, ClassStreamStore, ClassStreamCtl:
+		return true
+	}
+	return false
+}
+
+// Stream CSR selectors for OpStreamCsrR (the Imm field).
+const (
+	CsrHead = 0 // current Head byte offset within the stream window
+	CsrTail = 1 // current Tail byte offset (bytes delivered so far)
+)
+
+// Inst is one decoded instruction. Fields unused by an operation are zero.
+type Inst struct {
+	Op       Op
+	Rd       uint8 // destination register (0-31; x0 discards writes)
+	Rs1, Rs2 uint8 // source registers
+	Imm      int32 // immediate / branch offset (instructions) / CSR selector
+	Stream   uint8 // stream slot for stream ops (0-15)
+	Width    uint8 // stream access width in bytes (1, 2 or 4)
+}
+
+// NumRegs is the architectural register count.
+const NumRegs = 32
+
+// regNames holds RISC-V ABI register names for disassembly.
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// RegName returns the ABI name of register r.
+func RegName(r uint8) string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// String disassembles the instruction.
+func (i Inst) String() string {
+	switch i.Op.Class() {
+	case ClassALU:
+		switch i.Op {
+		case OpLui:
+			return fmt.Sprintf("%s %s, %#x", i.Op, RegName(i.Rd), uint32(i.Imm))
+		case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu:
+			return fmt.Sprintf("%s %s, %s, %d", i.Op, RegName(i.Rd), RegName(i.Rs1), i.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", i.Op, RegName(i.Rd), RegName(i.Rs1), RegName(i.Rs2))
+		}
+	case ClassMul, ClassDiv:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, RegName(i.Rd), RegName(i.Rs1), RegName(i.Rs2))
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, RegName(i.Rd), i.Imm, RegName(i.Rs1))
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, RegName(i.Rs2), i.Imm, RegName(i.Rs1))
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %+d", i.Op, RegName(i.Rs1), RegName(i.Rs2), i.Imm)
+	case ClassJump:
+		if i.Op == OpJal {
+			return fmt.Sprintf("jal %s, %+d", RegName(i.Rd), i.Imm)
+		}
+		return fmt.Sprintf("jalr %s, %d(%s)", RegName(i.Rd), i.Imm, RegName(i.Rs1))
+	case ClassStreamLoad:
+		return fmt.Sprintf("%s %s, s%d, w%d", i.Op, RegName(i.Rd), i.Stream, i.Width)
+	case ClassStreamStore:
+		return fmt.Sprintf("%s s%d, w%d, %s", i.Op, i.Stream, i.Width, RegName(i.Rs2))
+	case ClassStreamCtl:
+		switch i.Op {
+		case OpStreamAdv:
+			return fmt.Sprintf("%s s%d, %d", i.Op, i.Stream, i.Imm)
+		case OpStreamEnd:
+			return fmt.Sprintf("%s %s, s%d", i.Op, RegName(i.Rd), i.Stream)
+		default:
+			return fmt.Sprintf("%s %s, s%d, csr%d", i.Op, RegName(i.Rd), i.Stream, i.Imm)
+		}
+	default:
+		return i.Op.String()
+	}
+}

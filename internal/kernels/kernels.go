@@ -1,0 +1,149 @@
+// Package kernels implements the offloaded computational-storage functions
+// the paper evaluates — Stat, RAID4/RAID6 erasure coding, AES encryption,
+// the Parse/Select/Filter database pipeline, and the byte-scan scalability
+// workload — each in two lowerings:
+//
+//   - StyleStream: the ASSASIN stream ISA (StreamLoad/StreamPeek/StreamAdv/
+//     StreamStore; Section V-B), with automatic stream pointer management.
+//   - StyleSoftware: conventional loads/stores walking pointers over staged
+//     stream windows (DRAM staging buffers or ping-pong scratchpads), with
+//     explicit pointer arithmetic, bounds checks and page-release
+//     bookkeeping — the extra instructions the stream ISA eliminates.
+//
+// Every kernel also has a pure-Go reference implementation; tests check the
+// simulated output bit-for-bit against it.
+package kernels
+
+import (
+	"fmt"
+
+	"assasin/internal/asm"
+	"assasin/internal/memhier"
+)
+
+// Style selects the code lowering.
+type Style int
+
+// Styles.
+const (
+	StyleStream Style = iota
+	StyleSoftware
+)
+
+// String implements fmt.Stringer.
+func (s Style) String() string {
+	if s == StyleStream {
+		return "stream"
+	}
+	return "software"
+}
+
+// BuildParams parameterizes code generation.
+type BuildParams struct {
+	Style Style
+	// PageSize is the stream window page granularity (release cadence for
+	// software-managed windows).
+	PageSize int
+	// StateBase is the address where the kernel's function state (tables,
+	// keys) is preloaded: memhier.ScratchpadBase for scratchpad
+	// architectures, a DRAM address for cache-hierarchy architectures.
+	StateBase uint32
+}
+
+// Kernel is one offloadable function.
+type Kernel interface {
+	// Name identifies the kernel.
+	Name() string
+	// Inputs and Outputs are the stream slot counts.
+	Inputs() int
+	Outputs() int
+	// Build emits the program for the given lowering.
+	Build(p BuildParams) (*asm.Program, error)
+	// State returns the function-state image to preload at StateBase (nil
+	// if the kernel is stateless).
+	State() []byte
+	// Args returns initial register values given the per-stream input byte
+	// lengths (software lowerings need explicit lengths; stream lowerings
+	// usually terminate on end-of-stream).
+	Args(inputLengths []int64) map[asm.Reg]uint32
+	// Reference computes the expected outputs from the input bytes.
+	Reference(inputs [][]byte) ([][]byte, error)
+}
+
+// inViewBase returns the view address of input slot s, byte 0.
+func inViewBase(s uint8) int32 {
+	return int32(memhier.StreamInViewBase + uint32(s)*memhier.StreamViewStride)
+}
+
+// outViewBase returns the view address of output slot s, byte 0.
+func outViewBase(s uint8) int32 {
+	return int32(memhier.StreamOutViewBase + uint32(s)*memhier.StreamViewStride)
+}
+
+// softIn emits software-managed input stream access: a walking pointer with
+// page-release bookkeeping. Per-record cost beyond the loads themselves is
+// one pointer addi plus a (usually untaken) release-threshold branch —
+// exactly the "address calculations and pointer management instructions"
+// the paper's stream ISA removes.
+type softIn struct {
+	b        *asm.Builder
+	slot     uint8
+	ptr      asm.Reg // current view address
+	thresh   asm.Reg // next page-release boundary
+	pageSize int32
+}
+
+// init emits pointer setup. Streams are limited to 16 MiB per core (the
+// view stride), which the experiment harness guarantees, so no wrap code is
+// needed — matching real kernels that walk a large staging buffer.
+func (s *softIn) init() {
+	s.b.Li(s.ptr, inViewBase(s.slot))
+	s.b.Li(s.thresh, inViewBase(s.slot)+s.pageSize)
+}
+
+// advance emits ptr += n and releases a window page when the pointer
+// crosses the threshold.
+func (s *softIn) advance(n int32) {
+	s.b.Addi(s.ptr, s.ptr, n)
+	skip := s.b.NewLabel()
+	s.b.Bltu(s.ptr, s.thresh, skip)
+	s.b.StreamAdv(s.slot, s.pageSize)
+	s.b.Addi(s.thresh, s.thresh, s.pageSize)
+	s.b.Bind(skip)
+}
+
+// endReg emits computation of the end address into rd given a length
+// argument register.
+func (s *softIn) endReg(rd, lenReg asm.Reg) {
+	s.b.Li(rd, inViewBase(s.slot))
+	s.b.Add(rd, rd, lenReg)
+}
+
+// softOut emits software-managed sequential output: a walking store pointer.
+type softOut struct {
+	b    *asm.Builder
+	slot uint8
+	ptr  asm.Reg
+}
+
+func (s *softOut) init() {
+	s.b.Li(s.ptr, outViewBase(s.slot))
+}
+
+// defaultArgs builds the convention used by all software lowerings: input
+// stream i's byte length in register A0+i.
+func defaultArgs(inputLengths []int64) map[asm.Reg]uint32 {
+	args := make(map[asm.Reg]uint32, len(inputLengths))
+	for i, n := range inputLengths {
+		args[asm.A0+asm.Reg(i)] = uint32(n)
+	}
+	return args
+}
+
+// checkInputs validates reference-implementation inputs.
+func checkInputs(name string, inputs [][]byte, want int) error {
+	if len(inputs) != want {
+		return fmt.Errorf("kernels: %s expects %d inputs, got %d", name, want, len(inputs))
+	}
+	return nil
+}

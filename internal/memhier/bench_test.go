@@ -1,0 +1,52 @@
+package memhier
+
+import (
+	"testing"
+
+	"assasin/internal/sim"
+)
+
+func BenchmarkCacheHit(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "l1", Size: 32 << 10, Ways: 8, LineSize: 64}, DRAMLevel{testDRAM()})
+	c.Access(0, 0x8000_0000, 4, false, 1, "b")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(sim.Time(i), 0x8000_0000+uint32(i%16)*4, 4, false, 1, "b")
+	}
+}
+
+func BenchmarkCacheMissStream(b *testing.B) {
+	c := NewCache(CacheConfig{Name: "l1", Size: 32 << 10, Ways: 8, LineSize: 64}, DRAMLevel{testDRAM()})
+	b.ResetTimer()
+	addr := uint32(0x8000_0000)
+	at := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		at = c.Access(at, addr, 4, false, 1, "b")
+		addr += 64
+	}
+}
+
+func BenchmarkStreamLoad(b *testing.B) {
+	s := NewInStream(64, 4096)
+	page := make([]byte, 4096)
+	b.SetBytes(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Buffered() < 4 {
+			b.StopTimer()
+			for s.CanPush(4096) {
+				s.Push(page, 0)
+			}
+			b.StartTimer()
+		}
+		s.Load(0, 4)
+	}
+}
+
+func BenchmarkDRAMAccess(b *testing.B) {
+	d := NewDRAM(DefaultDRAMConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(sim.Time(i)*100, 64, i&1 == 0, "b")
+	}
+}

@@ -1,0 +1,99 @@
+package memhier
+
+import (
+	"fmt"
+
+	"assasin/internal/sim"
+)
+
+// Scratchpad is a software-managed SRAM tightly coupled to the core
+// pipeline, holding function state (GF tables, AES round keys, accumulators,
+// parse state machines — Table II). It carries functional data and a fixed
+// access latency in cycles.
+//
+// The paper's circuit evaluation (Fig. 20) shows a 64 KiB scratchpad cannot
+// be read in a single 1 GHz cycle; the timing-adjusted configurations raise
+// AccessCycles to 2. Both are expressed here.
+type Scratchpad struct {
+	data []byte
+	// AccessCycles is the pipeline cost of one access; the core model
+	// charges (AccessCycles-1) stall cycles beyond the base cycle.
+	AccessCycles int
+
+	reads, writes int64
+}
+
+// NewScratchpad returns a scratchpad of size bytes with single-cycle access.
+func NewScratchpad(size int) *Scratchpad {
+	return &Scratchpad{data: make([]byte, size), AccessCycles: 1}
+}
+
+// Size returns the capacity in bytes.
+func (s *Scratchpad) Size() int { return len(s.data) }
+
+// Reads returns the read access count.
+func (s *Scratchpad) Reads() int64 { return s.reads }
+
+// Writes returns the write access count.
+func (s *Scratchpad) Writes() int64 { return s.writes }
+
+func (s *Scratchpad) check(off uint32, size int) error {
+	if int(off)+size > len(s.data) {
+		return fmt.Errorf("memhier: scratchpad access [%d,%d) out of range (size %d)", off, int(off)+size, len(s.data))
+	}
+	return nil
+}
+
+// Read returns size (1, 2 or 4) bytes at offset off, little-endian.
+func (s *Scratchpad) Read(off uint32, size int) (uint32, error) {
+	if err := s.check(off, size); err != nil {
+		return 0, err
+	}
+	s.reads++
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(s.data[off+uint32(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write stores the low size bytes of v at offset off.
+func (s *Scratchpad) Write(off uint32, size int, v uint32) error {
+	if err := s.check(off, size); err != nil {
+		return err
+	}
+	s.writes++
+	for i := 0; i < size; i++ {
+		s.data[off+uint32(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// LoadBytes copies data into the scratchpad at off (used by the firmware to
+// preload function state before a kernel starts; not charged to the kernel).
+func (s *Scratchpad) LoadBytes(off uint32, data []byte) error {
+	if err := s.check(off, len(data)); err != nil {
+		return err
+	}
+	copy(s.data[off:], data)
+	return nil
+}
+
+// Bytes returns the scratchpad contents from off for length bytes.
+func (s *Scratchpad) Bytes(off uint32, length int) ([]byte, error) {
+	if err := s.check(off, length); err != nil {
+		return nil, err
+	}
+	out := make([]byte, length)
+	copy(out, s.data[off:])
+	return out, nil
+}
+
+// ExtraLatency returns the stall time beyond the base pipeline cycle for one
+// access under the given clock.
+func (s *Scratchpad) ExtraLatency(clock sim.Clock) sim.Time {
+	if s.AccessCycles <= 1 {
+		return 0
+	}
+	return clock.Cycles(int64(s.AccessCycles - 1))
+}

@@ -1,0 +1,88 @@
+// Package memhier models the memory hierarchies of the evaluated in-SSD
+// compute engines (Table IV): set-associative write-back caches backed by
+// the shared SSD DRAM, a DCPT-style delta prefetcher, single-cycle
+// scratchpads, and the ASSASIN input/output stream buffers with their
+// prefetched head FIFO. Caches are timing models; scratchpads, stream
+// buffers and the sparse backing store also carry functional data so that
+// kernels compute real results.
+package memhier
+
+import "fmt"
+
+const sparsePageBits = 12 // 4 KiB functional pages
+
+// SparseMem is a functional byte-addressable memory backed by a page map.
+// It stores data for the DRAM address space (staging buffers, kernel spill).
+// Values are little-endian. Unwritten bytes read as zero.
+type SparseMem struct {
+	pages map[uint32][]byte
+}
+
+// NewSparseMem returns an empty memory.
+func NewSparseMem() *SparseMem {
+	return &SparseMem{pages: make(map[uint32][]byte)}
+}
+
+func (m *SparseMem) page(addr uint32, create bool) []byte {
+	pn := addr >> sparsePageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = make([]byte, 1<<sparsePageBits)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *SparseMem) ByteAt(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(1<<sparsePageBits-1)]
+}
+
+// SetByte stores b at addr.
+func (m *SparseMem) SetByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&(1<<sparsePageBits-1)] = b
+}
+
+// Read returns size (1, 2 or 4) bytes at addr, little-endian.
+func (m *SparseMem) Read(addr uint32, size int) uint32 {
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(m.ByteAt(addr+uint32(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *SparseMem) Write(addr uint32, size int, v uint32) {
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint32(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadRange copies length bytes starting at addr into a new slice.
+func (m *SparseMem) ReadRange(addr uint32, length int) []byte {
+	out := make([]byte, length)
+	for i := range out {
+		out[i] = m.ByteAt(addr + uint32(i))
+	}
+	return out
+}
+
+// WriteRange copies data into memory starting at addr.
+func (m *SparseMem) WriteRange(addr uint32, data []byte) {
+	for i, b := range data {
+		m.SetByte(addr+uint32(i), b)
+	}
+}
+
+// Footprint returns the number of bytes of allocated backing pages.
+func (m *SparseMem) Footprint() int { return len(m.pages) << sparsePageBits }
+
+// String summarizes the memory for diagnostics.
+func (m *SparseMem) String() string {
+	return fmt.Sprintf("SparseMem{%d pages}", len(m.pages))
+}

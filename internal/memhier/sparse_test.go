@@ -1,0 +1,83 @@
+package memhier
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSparseMemReadWrite(t *testing.T) {
+	m := NewSparseMem()
+	if m.Read(0x8000_0000, 4) != 0 {
+		t.Error("unwritten memory not zero")
+	}
+	m.Write(0x8000_0000, 4, 0xdeadbeef)
+	if got := m.Read(0x8000_0000, 4); got != 0xdeadbeef {
+		t.Errorf("Read = %#x", got)
+	}
+	// Little-endian byte order.
+	if got := m.ByteAt(0x8000_0000); got != 0xef {
+		t.Errorf("low byte = %#x, want 0xef", got)
+	}
+	if got := m.Read(0x8000_0002, 2); got != 0xdead {
+		t.Errorf("high half = %#x, want 0xdead", got)
+	}
+}
+
+func TestSparseMemCrossPageBoundary(t *testing.T) {
+	m := NewSparseMem()
+	addr := uint32(1<<sparsePageBits - 2) // straddles two 4K pages
+	m.Write(addr, 4, 0x11223344)
+	if got := m.Read(addr, 4); got != 0x11223344 {
+		t.Errorf("cross-page read = %#x", got)
+	}
+}
+
+func TestSparseMemRanges(t *testing.T) {
+	m := NewSparseMem()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	m.WriteRange(0x9000_0100, data)
+	if got := m.ReadRange(0x9000_0100, len(data)); !bytes.Equal(got, data) {
+		t.Errorf("ReadRange = %q", got)
+	}
+}
+
+func TestSparseMemQuick(t *testing.T) {
+	m := NewSparseMem()
+	prop := func(addr uint32, v uint32) bool {
+		m.Write(addr, 4, v)
+		return m.Read(addr, 4) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseMemFootprint(t *testing.T) {
+	m := NewSparseMem()
+	if m.Footprint() != 0 {
+		t.Error("fresh memory has footprint")
+	}
+	m.SetByte(0, 1)
+	m.SetByte(1<<sparsePageBits, 1)
+	if m.Footprint() != 2<<sparsePageBits {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+}
+
+func TestSparseMemRandomizedAgainstMap(t *testing.T) {
+	m := NewSparseMem()
+	ref := make(map[uint32]byte)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		addr := uint32(rng.Intn(1 << 20))
+		if rng.Intn(2) == 0 {
+			b := byte(rng.Intn(256))
+			m.SetByte(addr, b)
+			ref[addr] = b
+		} else if m.ByteAt(addr) != ref[addr] {
+			t.Fatalf("mismatch at %#x", addr)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package memhier
+
+import (
+	"fmt"
+
+	"assasin/internal/sim"
+)
+
+// LoadStatus describes the outcome of a stream read attempt.
+type LoadStatus int
+
+// Stream access outcomes.
+const (
+	// LoadOK: data returned; the ready time says when the value is usable.
+	LoadOK LoadStatus = iota
+	// LoadBlocked: not enough bytes buffered yet and the producer has not
+	// finished; the core must stall until woken by a push.
+	LoadBlocked
+	// LoadEOS: the stream is exhausted (producer closed and buffer empty).
+	LoadEOS
+)
+
+// availSeg records that stream bytes below End become usable at At.
+type availSeg struct {
+	End int64 // exclusive absolute byte offset
+	At  sim.Time
+}
+
+// InStream is one input stream slot of an ASSASIN stream buffer: a circular
+// window of P flash pages with Head (consume) and Tail (deliver) pointers
+// exposed as CSRs. The firmware pushes pages (with their flash arrival
+// times); the core consumes bytes through StreamLoad/Peek/Adv, or — for the
+// software-managed scratchpad and DRAM-staged configurations — through
+// window-absolute reads.
+type InStream struct {
+	capBytes int
+	pageSize int
+	ring     []byte
+
+	consumed  int64 // Head: absolute bytes consumed/released
+	delivered int64 // Tail: absolute bytes delivered
+	closed    bool  // producer finished
+
+	avail     []availSeg
+	availHead int
+	lastAvail sim.Time
+
+	// OnFree, if set, is called when window space is released (the
+	// firmware uses it to schedule more flash reads).
+	OnFree func()
+	// OnPush, if set, is called when data arrives (used to wake a stalled
+	// core process at the page's availability time).
+	OnPush func(at sim.Time)
+}
+
+// NewInStream returns an input stream with a window of pages×pageSize bytes.
+func NewInStream(pages, pageSize int) *InStream {
+	if pages <= 0 || pageSize <= 0 {
+		panic("memhier: bad stream window geometry")
+	}
+	cap := pages * pageSize
+	return &InStream{capBytes: cap, pageSize: pageSize, ring: make([]byte, cap)}
+}
+
+// WindowBytes returns the window capacity in bytes.
+func (s *InStream) WindowBytes() int { return s.capBytes }
+
+// PageSize returns the page granularity.
+func (s *InStream) PageSize() int { return s.pageSize }
+
+// Head returns the absolute consumed-byte count (the Head CSR).
+func (s *InStream) Head() int64 { return s.consumed }
+
+// Tail returns the absolute delivered-byte count (the Tail CSR).
+func (s *InStream) Tail() int64 { return s.delivered }
+
+// Buffered returns the bytes currently in the window.
+func (s *InStream) Buffered() int { return int(s.delivered - s.consumed) }
+
+// CanPush reports whether another n bytes fit in the window.
+func (s *InStream) CanPush(n int) bool { return s.Buffered()+n <= s.capBytes }
+
+// Closed reports whether the producer has signalled end of stream.
+func (s *InStream) Closed() bool { return s.closed }
+
+// Exhausted reports end-of-stream: closed and fully consumed.
+func (s *InStream) Exhausted() bool { return s.closed && s.Buffered() == 0 }
+
+// Push delivers data (typically one flash page) that becomes usable at
+// availableAt. It fails if the window lacks space or the stream is closed.
+func (s *InStream) Push(data []byte, availableAt sim.Time) error {
+	if s.closed {
+		return fmt.Errorf("memhier: push on closed stream")
+	}
+	if !s.CanPush(len(data)) {
+		return fmt.Errorf("memhier: stream window overflow (%d buffered + %d > %d)", s.Buffered(), len(data), s.capBytes)
+	}
+	pos := int(s.delivered % int64(s.capBytes))
+	n := copy(s.ring[pos:], data)
+	copy(s.ring, data[n:])
+	s.delivered += int64(len(data))
+	// Availability is monotone per stream: a page can't be usable before
+	// its predecessors (the firmware delivers in order).
+	if availableAt < s.lastAvail {
+		availableAt = s.lastAvail
+	}
+	s.lastAvail = availableAt
+	s.avail = append(s.avail, availSeg{End: s.delivered, At: availableAt})
+	if s.OnPush != nil {
+		s.OnPush(availableAt)
+	}
+	return nil
+}
+
+// Close marks the producer finished.
+func (s *InStream) Close() { s.closed = true }
+
+// availableAtOffset returns when the byte at absolute offset off becomes
+// usable. Caller must ensure off < delivered.
+func (s *InStream) availableAtOffset(off int64) sim.Time {
+	for i := s.availHead; i < len(s.avail); i++ {
+		if off < s.avail[i].End {
+			return s.avail[i].At
+		}
+	}
+	return 0
+}
+
+func (s *InStream) byteAt(off int64) byte {
+	return s.ring[off%int64(s.capBytes)]
+}
+
+func (s *InStream) gather(off int64, width int) uint32 {
+	var v uint32
+	for i := 0; i < width; i++ {
+		v |= uint32(s.byteAt(off+int64(i))) << (8 * i)
+	}
+	return v
+}
+
+func (s *InStream) trimAvail() {
+	for s.availHead < len(s.avail) && s.avail[s.availHead].End <= s.consumed {
+		s.availHead++
+	}
+	if s.availHead > 64 && s.availHead*2 > len(s.avail) {
+		s.avail = append([]availSeg(nil), s.avail[s.availHead:]...)
+		s.availHead = 0
+	}
+}
+
+// Load consumes width bytes from the Head at time at. On LoadOK it returns
+// the little-endian value and the time the value is ready (at, or the
+// arrival time of a still-in-flight page).
+func (s *InStream) Load(at sim.Time, width int) (uint32, sim.Time, LoadStatus) {
+	if s.Buffered() < width {
+		if s.closed {
+			return 0, at, LoadEOS
+		}
+		return 0, at, LoadBlocked
+	}
+	ready := sim.MaxT(at, s.availableAtOffset(s.consumed+int64(width)-1))
+	v := s.gather(s.consumed, width)
+	s.consumed += int64(width)
+	s.trimAvail()
+	if s.OnFree != nil {
+		s.OnFree()
+	}
+	return v, ready, LoadOK
+}
+
+// Peek reads width bytes at Head+off without consuming.
+func (s *InStream) Peek(at sim.Time, off int64, width int) (uint32, sim.Time, LoadStatus) {
+	need := off + int64(width)
+	if int64(s.Buffered()) < need {
+		if s.closed {
+			return 0, at, LoadEOS
+		}
+		return 0, at, LoadBlocked
+	}
+	ready := sim.MaxT(at, s.availableAtOffset(s.consumed+need-1))
+	return s.gather(s.consumed+off, width), ready, LoadOK
+}
+
+// Adv advances Head by n bytes, releasing window space. Advancing past Tail
+// is an error.
+func (s *InStream) Adv(n int64) error {
+	if n < 0 || n > int64(s.Buffered()) {
+		return fmt.Errorf("memhier: stream Adv(%d) beyond %d buffered bytes", n, s.Buffered())
+	}
+	s.consumed += n
+	s.trimAvail()
+	if s.OnFree != nil && n > 0 {
+		s.OnFree()
+	}
+	return nil
+}
+
+// ReadAt reads width bytes at the absolute stream offset off without moving
+// Head — the access mode of software-managed windows (ping-pong scratchpads
+// and DRAM staging buffers), where the kernel walks a pointer and releases
+// space page-wise via Adv. off must be within [Head, Tail).
+func (s *InStream) ReadAt(at sim.Time, off int64, width int) (uint32, sim.Time, LoadStatus) {
+	if off < s.consumed {
+		return 0, at, LoadEOS // window space already released: kernel bug
+	}
+	if off+int64(width) > s.delivered {
+		if s.closed {
+			return 0, at, LoadEOS
+		}
+		return 0, at, LoadBlocked
+	}
+	ready := sim.MaxT(at, s.availableAtOffset(off+int64(width)-1))
+	return s.gather(off, width), ready, LoadOK
+}
+
+// OutStream is one output stream slot: the core appends bytes, the firmware
+// drains them page-wise toward the flash array or SSD DRAM.
+type OutStream struct {
+	capBytes int
+	pageSize int
+	ring     []byte
+
+	appended int64
+	drained  int64
+
+	// OnData, if set, is called when bytes are appended (the firmware uses
+	// it to schedule drains).
+	OnData func()
+	// OnSpace, if set, is called with the time at which window space was
+	// freed (used to wake a core stalled on a full output window).
+	OnSpace func(at sim.Time)
+}
+
+// NewOutStream returns an output stream with a window of pages×pageSize.
+func NewOutStream(pages, pageSize int) *OutStream {
+	if pages <= 0 || pageSize <= 0 {
+		panic("memhier: bad stream window geometry")
+	}
+	cap := pages * pageSize
+	return &OutStream{capBytes: cap, pageSize: pageSize, ring: make([]byte, cap)}
+}
+
+// WindowBytes returns the window capacity.
+func (s *OutStream) WindowBytes() int { return s.capBytes }
+
+// PageSize returns the drain granularity.
+func (s *OutStream) PageSize() int { return s.pageSize }
+
+// Tail returns the absolute appended-byte count (the Tail CSR).
+func (s *OutStream) Tail() int64 { return s.appended }
+
+// Head returns the absolute drained-byte count (the Head CSR).
+func (s *OutStream) Head() int64 { return s.drained }
+
+// Buffered returns bytes appended but not yet drained.
+func (s *OutStream) Buffered() int { return int(s.appended - s.drained) }
+
+// CanAppend reports whether width more bytes fit.
+func (s *OutStream) CanAppend(width int) bool { return s.Buffered()+width <= s.capBytes }
+
+// Append stores the low width bytes of v at the Tail. It returns false when
+// the window is full (the core must stall until the firmware drains).
+func (s *OutStream) Append(v uint32, width int) bool {
+	if !s.CanAppend(width) {
+		return false
+	}
+	for i := 0; i < width; i++ {
+		s.ring[(s.appended+int64(i))%int64(s.capBytes)] = byte(v >> (8 * i))
+	}
+	s.appended += int64(width)
+	if s.OnData != nil {
+		s.OnData()
+	}
+	return true
+}
+
+// AppendBytes appends a byte slice (used by non-ISA producers in tests).
+func (s *OutStream) AppendBytes(data []byte) bool {
+	if !s.CanAppend(len(data)) {
+		return false
+	}
+	for i, b := range data {
+		s.ring[(s.appended+int64(i))%int64(s.capBytes)] = b
+	}
+	s.appended += int64(len(data))
+	if s.OnData != nil {
+		s.OnData()
+	}
+	return true
+}
+
+// PeekBytes returns up to n buffered bytes without draining them — the
+// firmware uses it to issue the flash/DRAM write before freeing the window.
+func (s *OutStream) PeekBytes(n int) []byte {
+	if n > s.Buffered() {
+		n = s.Buffered()
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.ring[(s.drained+int64(i))%int64(s.capBytes)]
+	}
+	return out
+}
+
+// Drain removes up to n buffered bytes and returns them; at is when the
+// space is freed (propagated to a stalled producer via OnSpace).
+func (s *OutStream) Drain(n int, at sim.Time) []byte {
+	if n > s.Buffered() {
+		n = s.Buffered()
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.ring[(s.drained+int64(i))%int64(s.capBytes)]
+	}
+	s.drained += int64(n)
+	if s.OnSpace != nil {
+		s.OnSpace(at)
+	}
+	return out
+}
+
+// StreamBuffer bundles a core's input and output stream slots (S of each,
+// the paper's S=8, P=2 default giving 64 KiB I + 64 KiB O at 16 KiB pages
+// is constructed by the ssd package with its parameters).
+type StreamBuffer struct {
+	In  []*InStream
+	Out []*OutStream
+}
+
+// NewStreamBuffer returns a stream buffer with slots input and output
+// streams, each a window of pages×pageSize bytes.
+func NewStreamBuffer(slots, pages, pageSize int) *StreamBuffer {
+	sb := &StreamBuffer{
+		In:  make([]*InStream, slots),
+		Out: make([]*OutStream, slots),
+	}
+	for i := range sb.In {
+		sb.In[i] = NewInStream(pages, pageSize)
+		sb.Out[i] = NewOutStream(pages, pageSize)
+	}
+	return sb
+}

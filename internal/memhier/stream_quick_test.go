@@ -1,0 +1,177 @@
+package memhier
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"assasin/internal/sim"
+)
+
+// TestInStreamModelBased drives an InStream with random interleavings of
+// Push / Load / Peek / Adv / ReadAt against a simple FIFO model and checks
+// every observable agrees.
+func TestInStreamModelBased(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		pageSize := 8 << rng.Intn(3) // 8, 16, 32
+		pages := 2 + rng.Intn(4)
+		s := NewInStream(pages, pageSize)
+
+		var model []byte    // bytes pushed, in order
+		var consumed int64  // model head
+		var delivered int64 // model tail
+		produced := byte(0)
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(5) {
+			case 0: // push a page-or-smaller chunk
+				n := 1 + rng.Intn(pageSize)
+				if !s.CanPush(n) {
+					if err := s.Push(make([]byte, n), 0); err == nil {
+						t.Fatal("overfull push accepted")
+					}
+					continue
+				}
+				chunk := make([]byte, n)
+				for i := range chunk {
+					chunk[i] = produced
+					produced++
+				}
+				if err := s.Push(chunk, sim.Time(step)); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, chunk...)
+				delivered += int64(n)
+			case 1: // load
+				w := []int{1, 2, 4}[rng.Intn(3)]
+				v, _, st := s.Load(0, w)
+				if delivered-consumed < int64(w) {
+					if st == LoadOK {
+						t.Fatal("load succeeded with insufficient data")
+					}
+					continue
+				}
+				if st != LoadOK {
+					t.Fatalf("load failed with %d buffered", delivered-consumed)
+				}
+				var want uint32
+				for i := 0; i < w; i++ {
+					want |= uint32(model[consumed+int64(i)]) << (8 * i)
+				}
+				if v != want {
+					t.Fatalf("trial %d step %d: load = %#x, want %#x", trial, step, v, want)
+				}
+				consumed += int64(w)
+			case 2: // peek
+				if delivered-consumed < 2 {
+					continue
+				}
+				off := int64(rng.Intn(int(delivered - consumed - 1)))
+				v, _, st := s.Peek(0, off, 1)
+				if st != LoadOK {
+					t.Fatal("peek failed within buffered range")
+				}
+				if byte(v) != model[consumed+off] {
+					t.Fatal("peek value wrong")
+				}
+			case 3: // adv
+				if delivered == consumed {
+					continue
+				}
+				n := int64(1 + rng.Intn(int(delivered-consumed)))
+				if err := s.Adv(n); err != nil {
+					t.Fatal(err)
+				}
+				consumed += n
+			case 4: // readAt
+				if delivered == consumed {
+					continue
+				}
+				off := consumed + int64(rng.Intn(int(delivered-consumed)))
+				v, _, st := s.ReadAt(0, off, 1)
+				if st != LoadOK {
+					t.Fatalf("ReadAt(%d) failed with head=%d tail=%d", off, consumed, delivered)
+				}
+				if byte(v) != model[off] {
+					t.Fatal("ReadAt value wrong")
+				}
+			}
+			if s.Head() != consumed || s.Tail() != delivered {
+				t.Fatalf("pointer drift: got (%d,%d) want (%d,%d)", s.Head(), s.Tail(), consumed, delivered)
+			}
+		}
+	}
+}
+
+// TestOutStreamModelBased checks Append/Drain against a byte queue.
+func TestOutStreamModelBased(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := NewOutStream(2+rng.Intn(3), 8<<rng.Intn(3))
+		var model []byte
+		var drained []byte
+		var want []byte
+		produced := byte(0)
+		for step := 0; step < 400; step++ {
+			if rng.Intn(2) == 0 {
+				w := []int{1, 2, 4}[rng.Intn(3)]
+				var v uint32
+				tmp := make([]byte, w)
+				for i := range tmp {
+					tmp[i] = produced
+					produced++
+					v |= uint32(tmp[i]) << (8 * i)
+				}
+				if s.CanAppend(w) {
+					if !s.Append(v, w) {
+						t.Fatal("append failed with space")
+					}
+					model = append(model, tmp...)
+					want = append(want, tmp...)
+				} else {
+					if s.Append(v, w) {
+						t.Fatal("append to full window succeeded")
+					}
+					produced -= byte(w) // roll back
+				}
+			} else if len(model) > 0 {
+				n := 1 + rng.Intn(len(model))
+				got := s.Drain(n, 0)
+				drained = append(drained, got...)
+				model = model[len(got):]
+			}
+		}
+		drained = append(drained, s.Drain(1<<30, 0)...)
+		if !bytes.Equal(drained, want) {
+			t.Fatalf("trial %d: drained bytes diverge from appended", trial)
+		}
+	}
+}
+
+// TestInStreamAvailabilityMonotoneQuick: availability times never decrease
+// along the stream regardless of push times.
+func TestInStreamAvailabilityMonotoneQuick(t *testing.T) {
+	prop := func(times []uint16) bool {
+		if len(times) == 0 || len(times) > 64 {
+			return true
+		}
+		s := NewInStream(len(times)+1, 4)
+		var prev sim.Time
+		for _, raw := range times {
+			if err := s.Push([]byte{1, 2, 3, 4}, sim.Time(raw)*sim.Microsecond); err != nil {
+				return false
+			}
+			_, ready, st := s.Load(0, 4)
+			if st != LoadOK || ready < prev {
+				return false
+			}
+			prev = ready
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

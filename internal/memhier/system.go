@@ -1,0 +1,292 @@
+package memhier
+
+import (
+	"fmt"
+
+	"assasin/internal/sim"
+)
+
+// Core-visible address map. The scratchpad occupies a fixed window; stream
+// windows are exposed as per-slot "view" regions so that software-managed
+// configurations (Baseline, Prefetch, UDP, AssasinSp) can walk pointers over
+// staged stream data with ordinary loads/stores; everything at DRAMBase and
+// above is the SSD DRAM address space.
+const (
+	ScratchpadBase = 0x1000_0000
+
+	// StreamInViewBase exposes input stream slot s at
+	// StreamInViewBase + s*StreamViewStride + (absoluteOffset % StreamViewStride).
+	StreamInViewBase = 0x4000_0000
+	// StreamOutViewBase likewise exposes output stream slots for stores.
+	StreamOutViewBase = 0x6000_0000
+	// StreamViewStride is the per-slot view size (16 MiB); stream windows
+	// are far smaller, so view offsets are unambiguous.
+	StreamViewStride = 1 << 24
+
+	DRAMBase = 0x8000_0000
+)
+
+// ViewPath selects how stream-view accesses are timed — i.e. where staged
+// stream data physically lives for this configuration.
+type ViewPath int
+
+// View paths.
+const (
+	// ViewScratchpad: pages are DMAed into core-local (ping-pong)
+	// scratchpads; accesses cost scratchpad latency. Used by AssasinSp and
+	// UDP.
+	ViewScratchpad ViewPath = iota
+	// ViewCached: pages are staged in SSD DRAM; accesses go through the
+	// cache hierarchy. Used by Baseline and Prefetch.
+	ViewCached
+)
+
+// AccessResult describes the outcome of a core memory or stream access.
+type AccessResult struct {
+	Value  uint32
+	Done   sim.Time
+	Status LoadStatus // LoadBlocked means retry after an external wake
+}
+
+// System is the per-core memory system: the address decoder plus the
+// configuration's particular mix of scratchpad, caches, DRAM and stream
+// buffers. The CPU model issues all data-side accesses through it.
+type System struct {
+	Clock      sim.Clock
+	Scratchpad *Scratchpad // nil when the config has none
+	L1         *Cache      // nil when the config has no data cache
+	DRAM       *DRAM       // shared SSD DRAM (required)
+	Backing    *SparseMem  // functional data for the DRAM space
+	Streams    *StreamBuffer
+	ViewPath   ViewPath
+	// StreamExtraCycles is the added pipeline cost of ISA stream-buffer
+	// accesses beyond the base cycle (0 = the single-cycle prefetched head
+	// FIFO of Section V-B).
+	StreamExtraCycles int
+	// Client tags this core's DRAM traffic.
+	Client string
+}
+
+// viewTiming applies the configuration's data-path timing to a stream-view
+// access that functionally resolved at `ready`.
+func (m *System) viewTiming(at, ready sim.Time, addr uint32, size int, write bool, pc uint32) sim.Time {
+	switch m.ViewPath {
+	case ViewScratchpad:
+		if m.Scratchpad != nil {
+			ready = sim.MaxT(ready, at+m.Scratchpad.ExtraLatency(m.Clock))
+		}
+	case ViewCached:
+		if m.L1 != nil {
+			ready = sim.MaxT(ready, m.L1.Access(at, addr, size, write, pc, m.Client))
+		} else if m.DRAM != nil {
+			ready = sim.MaxT(ready, m.DRAM.Access(at, size, write, m.Client))
+		}
+	}
+	return ready
+}
+
+func (m *System) inStream(slot int) (*InStream, error) {
+	if m.Streams == nil || slot >= len(m.Streams.In) {
+		return nil, fmt.Errorf("memhier: no input stream slot %d", slot)
+	}
+	return m.Streams.In[slot], nil
+}
+
+func (m *System) outStream(slot int) (*OutStream, error) {
+	if m.Streams == nil || slot >= len(m.Streams.Out) {
+		return nil, fmt.Errorf("memhier: no output stream slot %d", slot)
+	}
+	return m.Streams.Out[slot], nil
+}
+
+// Load performs a data load of size bytes at addr at time at (pc drives the
+// prefetcher). LoadBlocked results mean the access touched stream data that
+// has not arrived; the core should stall and retry.
+func (m *System) Load(at sim.Time, addr uint32, size int, pc uint32) (AccessResult, error) {
+	switch {
+	case addr >= DRAMBase || addr < ScratchpadBase:
+		// Wrap-around of small negative offsets lands below ScratchpadBase;
+		// treat everything outside the defined windows as DRAM space.
+		var done sim.Time
+		if m.L1 != nil {
+			done = m.L1.Access(at, addr, size, false, pc, m.Client)
+		} else if m.DRAM != nil {
+			done = m.DRAM.Access(at, size, false, m.Client)
+		} else {
+			done = at
+		}
+		return AccessResult{Value: m.Backing.Read(addr, size), Done: done}, nil
+
+	case addr >= StreamOutViewBase:
+		return AccessResult{}, fmt.Errorf("memhier: load from output stream view %#x", addr)
+
+	case addr >= StreamInViewBase:
+		slot := int((addr - StreamInViewBase) / StreamViewStride)
+		st, err := m.inStream(slot)
+		if err != nil {
+			return AccessResult{}, err
+		}
+		off24 := int64((addr - StreamInViewBase) % StreamViewStride)
+		// Reconstruct the absolute stream offset from the 24-bit view
+		// offset and the window position.
+		head := st.Head()
+		abs := head + ((off24-head)%StreamViewStride+StreamViewStride)%StreamViewStride
+		v, ready, status := st.ReadAt(at, abs, size)
+		if status == LoadEOS {
+			return AccessResult{}, fmt.Errorf("memhier: stream view load beyond stream (slot %d abs %d)", slot, abs)
+		}
+		if status == LoadBlocked {
+			return AccessResult{Status: LoadBlocked, Done: at}, nil
+		}
+		ready = m.viewTiming(at, ready, addr, size, false, pc)
+		return AccessResult{Value: v, Done: ready}, nil
+
+	default: // scratchpad window
+		if m.Scratchpad == nil {
+			return AccessResult{}, fmt.Errorf("memhier: scratchpad load at %#x but no scratchpad", addr)
+		}
+		v, err := m.Scratchpad.Read(addr-ScratchpadBase, size)
+		if err != nil {
+			return AccessResult{}, err
+		}
+		return AccessResult{Value: v, Done: at + m.Scratchpad.ExtraLatency(m.Clock)}, nil
+	}
+}
+
+// Store performs a data store. Stores to output stream views must be
+// sequential appends (the kernels' access pattern); a full output window
+// reports LoadBlocked.
+func (m *System) Store(at sim.Time, addr uint32, size int, v uint32, pc uint32) (AccessResult, error) {
+	switch {
+	case addr >= DRAMBase || addr < ScratchpadBase:
+		var done sim.Time
+		if m.L1 != nil {
+			done = m.L1.Access(at, addr, size, true, pc, m.Client)
+		} else if m.DRAM != nil {
+			done = m.DRAM.Access(at, size, true, m.Client)
+		} else {
+			done = at
+		}
+		m.Backing.Write(addr, size, v)
+		return AccessResult{Done: done}, nil
+
+	case addr >= StreamOutViewBase:
+		slot := int((addr - StreamOutViewBase) / StreamViewStride)
+		st, err := m.outStream(slot)
+		if err != nil {
+			return AccessResult{}, err
+		}
+		off24 := int64((addr - StreamOutViewBase) % StreamViewStride)
+		if want := st.Tail() % StreamViewStride; off24 != want {
+			return AccessResult{}, fmt.Errorf("memhier: non-sequential output view store (slot %d off %d, want %d)", slot, off24, want)
+		}
+		if !st.Append(v, size) {
+			return AccessResult{Status: LoadBlocked, Done: at}, nil
+		}
+		done := m.viewTiming(at, at, addr, size, true, pc)
+		return AccessResult{Done: done}, nil
+
+	case addr >= StreamInViewBase:
+		return AccessResult{}, fmt.Errorf("memhier: store to input stream view %#x", addr)
+
+	default:
+		if m.Scratchpad == nil {
+			return AccessResult{}, fmt.Errorf("memhier: scratchpad store at %#x but no scratchpad", addr)
+		}
+		if err := m.Scratchpad.Write(addr-ScratchpadBase, size, v); err != nil {
+			return AccessResult{}, err
+		}
+		return AccessResult{Done: at + m.Scratchpad.ExtraLatency(m.Clock)}, nil
+	}
+}
+
+// StreamLoad implements the StreamLoad instruction against input slot s.
+func (m *System) StreamLoad(at sim.Time, slot, width int) (AccessResult, error) {
+	st, err := m.inStream(slot)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	v, ready, status := st.Load(at, width)
+	if status == LoadOK && m.StreamExtraCycles > 0 {
+		ready = sim.MaxT(ready, at+m.Clock.Cycles(int64(m.StreamExtraCycles)))
+	}
+	return AccessResult{Value: v, Done: ready, Status: status}, nil
+}
+
+// StreamPeek implements the StreamPeek instruction.
+func (m *System) StreamPeek(at sim.Time, slot, width int, off int64) (AccessResult, error) {
+	st, err := m.inStream(slot)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	v, ready, status := st.Peek(at, off, width)
+	if status == LoadOK && m.StreamExtraCycles > 0 {
+		ready = sim.MaxT(ready, at+m.Clock.Cycles(int64(m.StreamExtraCycles)))
+	}
+	return AccessResult{Value: v, Done: ready, Status: status}, nil
+}
+
+// StreamAdv implements the StreamAdvance instruction: it releases n bytes of
+// input window space. Advancing beyond delivered data blocks.
+func (m *System) StreamAdv(at sim.Time, slot int, n int64) (AccessResult, error) {
+	st, err := m.inStream(slot)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	if n > int64(st.Buffered()) {
+		if st.Closed() {
+			// Releasing the final partial page at end of stream.
+			n = int64(st.Buffered())
+		} else {
+			return AccessResult{Status: LoadBlocked, Done: at}, nil
+		}
+	}
+	if err := st.Adv(n); err != nil {
+		return AccessResult{}, err
+	}
+	return AccessResult{Done: at}, nil
+}
+
+// StreamStore implements the StreamStore instruction against output slot s.
+func (m *System) StreamStore(at sim.Time, slot, width int, v uint32) (AccessResult, error) {
+	st, err := m.outStream(slot)
+	if err != nil {
+		return AccessResult{}, err
+	}
+	if !st.Append(v, width) {
+		return AccessResult{Status: LoadBlocked, Done: at}, nil
+	}
+	done := at
+	if m.StreamExtraCycles > 0 {
+		done = at + m.Clock.Cycles(int64(m.StreamExtraCycles))
+	}
+	return AccessResult{Done: done}, nil
+}
+
+// StreamEnd implements the StreamEnd instruction: 1 when slot is exhausted.
+func (m *System) StreamEnd(slot int) (uint32, error) {
+	st, err := m.inStream(slot)
+	if err != nil {
+		return 0, err
+	}
+	if st.Exhausted() {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// StreamCsr reads a stream CSR (Head/Tail of input slot s).
+func (m *System) StreamCsr(slot int, csr int32) (uint32, error) {
+	st, err := m.inStream(slot)
+	if err != nil {
+		return 0, err
+	}
+	switch csr {
+	case 0:
+		return uint32(st.Head()), nil
+	case 1:
+		return uint32(st.Tail()), nil
+	default:
+		return 0, fmt.Errorf("memhier: unknown stream CSR %d", csr)
+	}
+}

@@ -1,0 +1,216 @@
+// Package nvme models the SSD's host interface: submission/completion of
+// conventional read and write commands plus the paper's new `scomp` command
+// (Fig. 9) that carries a computational-storage request — a compute
+// function and the List[List[LPA]] naming its input or output streams.
+//
+// Its role in the reproduction is the generality claim of Section V-A:
+// because ASSASIN pools compute engines behind a crossbar and leaves the
+// FTL alone, conventional I/O can interleave freely with computational
+// storage operations. Controller.RunMixed demonstrates exactly that —
+// normal reads and writes are serviced by the same flash array while an
+// offload runs on the ASSASIN cores.
+package nvme
+
+import (
+	"fmt"
+	"sort"
+
+	"assasin/internal/sim"
+	"assasin/internal/ssd"
+)
+
+// Opcode is an NVMe command opcode in this model.
+type Opcode int
+
+// Supported commands.
+const (
+	OpRead Opcode = iota
+	OpWrite
+	OpSComp // the computational-storage command of Section V-D
+)
+
+// String implements fmt.Stringer.
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpSComp:
+		return "scomp"
+	default:
+		return fmt.Sprintf("op%d", int(o))
+	}
+}
+
+// IORequest is one conventional read or write submitted at a point in time.
+type IORequest struct {
+	Op       Opcode
+	LPA      int
+	Pages    int
+	SubmitAt sim.Time
+	// Data is the payload for writes (page-sized chunks; short final page
+	// allowed). For reads it is ignored.
+	Data []byte
+}
+
+// IOCompletion reports a finished conventional command.
+type IOCompletion struct {
+	Req      IORequest
+	Done     sim.Time
+	Latency  sim.Time
+	Data     []byte // read payload
+	Err      error
+}
+
+// Config sets host-link parameters.
+type Config struct {
+	// LinkBandwidth is the host interface bandwidth (PCIe Gen4 x4 ≈ 8 GB/s).
+	LinkBandwidth float64
+	// LinkLatency is the per-transfer interface latency.
+	LinkLatency sim.Time
+}
+
+// DefaultConfig matches the paper's PCIe Gen4 x4 host interface.
+func DefaultConfig() Config {
+	return Config{LinkBandwidth: 8e9, LinkLatency: 5 * sim.Microsecond}
+}
+
+// Controller fronts one SSD with the NVMe command model.
+type Controller struct {
+	drive *ssd.SSD
+	link  *sim.BandwidthServer
+	cfg   Config
+}
+
+// New wraps an SSD (which must not have run an offload yet).
+func New(drive *ssd.SSD, cfg Config) *Controller {
+	if cfg.LinkBandwidth <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Controller{
+		drive: drive,
+		link:  sim.NewBandwidthServer("pcie", cfg.LinkBandwidth, cfg.LinkLatency),
+		cfg:   cfg,
+	}
+}
+
+// scheduleIO queues the conventional commands as firmware events on the
+// SSD's scheduler and returns the slice completions will be written to.
+func (c *Controller) scheduleIO(reqs []IORequest) []IOCompletion {
+	completions := make([]IOCompletion, len(reqs))
+	ps := c.drive.Opt.Flash.PageSize
+	for i := range reqs {
+		req := reqs[i]
+		completions[i].Req = req
+		slot := &completions[i]
+		c.drive.Sched.Events.Schedule(req.SubmitAt, func(now sim.Time) {
+			switch req.Op {
+			case OpRead:
+				var done sim.Time
+				var payload []byte
+				for p := 0; p < req.Pages; p++ {
+					data, d, err := c.drive.FTL.Read(now, req.LPA+p)
+					if err != nil {
+						slot.Err = err
+						return
+					}
+					payload = append(payload, data...)
+					// Staged in DRAM, then out over the host link.
+					staged := c.drive.DRAM.Access(d, ps, true, "host-read")
+					out := c.link.Access(staged, ps)
+					done = sim.MaxT(done, out)
+				}
+				slot.Data = payload
+				slot.Done = done
+				slot.Latency = done - req.SubmitAt
+			case OpWrite:
+				var done sim.Time
+				for p := 0; p < req.Pages; p++ {
+					lo := p * ps
+					hi := lo + ps
+					var chunk []byte
+					if lo < len(req.Data) {
+						if hi > len(req.Data) {
+							hi = len(req.Data)
+						}
+						chunk = req.Data[lo:hi]
+					}
+					in := c.link.Access(now, ps)
+					staged := c.drive.DRAM.Access(in, ps, true, "host-write")
+					busDone, _, err := c.drive.FTL.Write(staged, req.LPA+p, chunk)
+					if err != nil {
+						slot.Err = err
+						return
+					}
+					done = sim.MaxT(done, busDone)
+				}
+				slot.Done = done
+				slot.Latency = done - req.SubmitAt
+			default:
+				slot.Err = fmt.Errorf("nvme: opcode %v not valid as conventional IO", req.Op)
+			}
+		})
+	}
+	return completions
+}
+
+// RunMixed executes an scomp offload while servicing conventional I/O on
+// the same drive. It returns the offload result and the I/O completions.
+// Either side may be empty: no tasks degenerates to pure I/O, no reqs to a
+// plain offload.
+func (c *Controller) RunMixed(tasks []ssd.TaskSpec, reqs []IORequest, deadline sim.Time) (*ssd.Result, []IOCompletion, error) {
+	completions := c.scheduleIO(reqs)
+	var res *ssd.Result
+	var err error
+	if len(tasks) > 0 {
+		res, err = c.drive.RunOffload(tasks, deadline)
+	} else {
+		// Pure I/O: drive the event queue directly.
+		if deadline <= 0 {
+			deadline = 100 * sim.Second
+		}
+		c.drive.Sched.Events.RunUntil(deadline)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range completions {
+		if completions[i].Err != nil {
+			return nil, nil, fmt.Errorf("nvme: %v lpa %d: %w", completions[i].Req.Op, completions[i].Req.LPA, completions[i].Err)
+		}
+		if completions[i].Done == 0 && completions[i].Req.Pages > 0 {
+			return nil, nil, fmt.Errorf("nvme: %v lpa %d never completed", completions[i].Req.Op, completions[i].Req.LPA)
+		}
+	}
+	return res, completions, nil
+}
+
+// LatencyStats summarizes completion latencies.
+type LatencyStats struct {
+	N    int
+	Mean sim.Time
+	P99  sim.Time
+	Max  sim.Time
+}
+
+// Latencies computes summary statistics over completions.
+func Latencies(cs []IOCompletion) LatencyStats {
+	if len(cs) == 0 {
+		return LatencyStats{}
+	}
+	lats := make([]sim.Time, 0, len(cs))
+	var sum sim.Time
+	for _, c := range cs {
+		lats = append(lats, c.Latency)
+		sum += c.Latency
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p99 := lats[(len(lats)*99)/100]
+	return LatencyStats{
+		N:    len(lats),
+		Mean: sum / sim.Time(len(lats)),
+		P99:  p99,
+		Max:  lats[len(lats)-1],
+	}
+}

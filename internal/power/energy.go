@@ -1,0 +1,74 @@
+package power
+
+import (
+	"assasin/internal/cpu"
+	"assasin/internal/sim"
+)
+
+// Per-event dynamic energy at 14 nm, in picojoules. These are the standard
+// rule-of-thumb magnitudes (an SRAM access costs a few pJ and grows with
+// capacity; a DRAM access costs two orders of magnitude more — the
+// energy-side statement of the memory wall).
+const (
+	pjPerInstr      = 2.0  // issue + ALU + regfile
+	pjPerSPByte     = 0.15 // scratchpad/streambuffer access, per byte
+	pjPerCacheByte  = 0.30 // L1 access incl. tag match, per byte
+	pjPerDRAMByte   = 15.0 // LPDDR5 access + PHY, per byte
+	pjPerFlashByte  = 60.0 // NAND read + ONFI transfer, per byte
+	leakageMWPerMM2 = 15.0 // static power per silicon area
+)
+
+// EnergyBreakdown is the dynamic + static energy of one offload run, in
+// nanojoules.
+type EnergyBreakdown struct {
+	CoreNJ    float64 // instruction execution
+	SRAMNJ    float64 // scratchpad + stream buffer + cache accesses
+	DRAMNJ    float64 // SSD DRAM traffic
+	FlashNJ   float64 // flash array traffic
+	LeakageNJ float64 // area × leakage × duration
+}
+
+// TotalNJ sums the components.
+func (e EnergyBreakdown) TotalNJ() float64 {
+	return e.CoreNJ + e.SRAMNJ + e.DRAMNJ + e.FlashNJ + e.LeakageNJ
+}
+
+// RunInputs are the activity counters of one offload run, gathered from the
+// simulator.
+type RunInputs struct {
+	CoreStats  []cpu.Stats
+	DRAMBytes  int64
+	FlashBytes int64
+	// CacheBytes is traffic served by caches (hits × line/access width).
+	CacheBytes int64
+	// ComplexArea is the compute complex silicon (Table V).
+	ComplexArea float64
+	Duration    sim.Time
+}
+
+// Energy estimates a run's energy from its activity counters — the
+// "measured" counterpart to Table V's capacity-based power figures. The
+// point it makes is the paper's: for stream kernels, Baseline burns most of
+// its energy moving bytes through DRAM, which ASSASIN simply does not do.
+func Energy(in RunInputs) EnergyBreakdown {
+	var e EnergyBreakdown
+	for _, st := range in.CoreStats {
+		e.CoreNJ += pjPerInstr * float64(st.Instructions) / 1e3
+		spBytes := st.StreamInBytes + st.StreamOutBytes
+		e.SRAMNJ += pjPerSPByte * float64(spBytes) / 1e3
+		e.SRAMNJ += pjPerCacheByte * float64(st.LoadBytes+st.StoreBytes) / 1e3
+	}
+	e.SRAMNJ += pjPerCacheByte * float64(in.CacheBytes) / 1e3
+	e.DRAMNJ = pjPerDRAMByte * float64(in.DRAMBytes) / 1e3
+	e.FlashNJ = pjPerFlashByte * float64(in.FlashBytes) / 1e3
+	e.LeakageNJ = leakageMWPerMM2 * in.ComplexArea * in.Duration.Seconds() * 1e6 // mW·s → nJ
+	return e
+}
+
+// EnergyPerByte returns nJ per byte of input processed.
+func EnergyPerByte(e EnergyBreakdown, inputBytes int64) float64 {
+	if inputBytes <= 0 {
+		return 0
+	}
+	return e.TotalNJ() / float64(inputBytes)
+}

@@ -1,0 +1,74 @@
+package power
+
+import (
+	"testing"
+
+	"assasin/internal/cpu"
+	"assasin/internal/sim"
+)
+
+func TestEnergyComponents(t *testing.T) {
+	in := RunInputs{
+		CoreStats: []cpu.Stats{{
+			Instructions:   1_000_000,
+			StreamInBytes:  1 << 20,
+			StreamOutBytes: 1 << 19,
+			LoadBytes:      1 << 18,
+		}},
+		DRAMBytes:   1 << 20,
+		FlashBytes:  1 << 20,
+		ComplexArea: 2.25,
+		Duration:    sim.Millisecond,
+	}
+	e := Energy(in)
+	if e.CoreNJ <= 0 || e.SRAMNJ <= 0 || e.DRAMNJ <= 0 || e.FlashNJ <= 0 || e.LeakageNJ <= 0 {
+		t.Fatalf("missing components: %+v", e)
+	}
+	if e.TotalNJ() <= e.DRAMNJ {
+		t.Fatal("total not a sum")
+	}
+	// DRAM energy per byte dwarfs SRAM energy per byte — the memory wall's
+	// energy statement.
+	dramPerByte := e.DRAMNJ / float64(in.DRAMBytes)
+	sramPerByte := e.SRAMNJ / float64(in.CoreStats[0].StreamInBytes+in.CoreStats[0].StreamOutBytes+in.CoreStats[0].LoadBytes)
+	if dramPerByte < 20*sramPerByte {
+		t.Fatalf("DRAM/SRAM per-byte energy ratio %.1f too small", dramPerByte/sramPerByte)
+	}
+}
+
+func TestEnergyBaselineVsStream(t *testing.T) {
+	// Same compute, but the baseline moves every byte through DRAM twice
+	// (fill + refill) while the stream architecture bypasses it.
+	work := cpu.Stats{Instructions: 10_000_000}
+	streamWork := work
+	streamWork.StreamInBytes = 8 << 20
+	baseWork := work
+	baseWork.LoadBytes = 8 << 20
+
+	base := Energy(RunInputs{
+		CoreStats:   []cpu.Stats{baseWork},
+		DRAMBytes:   2 * (8 << 20),
+		FlashBytes:  8 << 20,
+		ComplexArea: 3.69,
+		Duration:    10 * sim.Millisecond,
+	})
+	stream := Energy(RunInputs{
+		CoreStats:   []cpu.Stats{streamWork},
+		FlashBytes:  8 << 20,
+		ComplexArea: 2.25,
+		Duration:    5 * sim.Millisecond, // and it finishes faster
+	})
+	if stream.TotalNJ() >= base.TotalNJ() {
+		t.Fatalf("stream energy %.0f nJ not below baseline %.0f nJ", stream.TotalNJ(), base.TotalNJ())
+	}
+	// Energy per byte favors the DRAM-bypassing design clearly.
+	if r := EnergyPerByte(base, 8<<20) / EnergyPerByte(stream, 8<<20); r < 1.2 {
+		t.Fatalf("energy-per-byte advantage %.2f too small", r)
+	}
+}
+
+func TestEnergyPerByteDegenerate(t *testing.T) {
+	if EnergyPerByte(EnergyBreakdown{CoreNJ: 5}, 0) != 0 {
+		t.Fatal("zero bytes should yield 0")
+	}
+}

@@ -1,0 +1,100 @@
+package power
+
+import (
+	"testing"
+)
+
+func TestSRAMScalesLinearly(t *testing.T) {
+	a := SRAM(32 << 10)
+	b := SRAM(64 << 10)
+	if b.AreaMM2 <= a.AreaMM2 || b.PowerMW <= a.PowerMW {
+		t.Fatal("SRAM cost not monotone")
+	}
+	ratio := b.AreaMM2 / a.AreaMM2
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("64K/32K area ratio %.2f, want ~2", ratio)
+	}
+}
+
+func TestCacheCostsMoreThanSRAM(t *testing.T) {
+	if Cache(32<<10).AreaMM2 <= SRAM(32<<10).AreaMM2 {
+		t.Error("cache overhead missing")
+	}
+	if StreamBufferCost(32<<10).AreaMM2 >= Cache(32<<10).AreaMM2 {
+		t.Error("stream buffer should be cheaper than a cache")
+	}
+}
+
+func TestL1SameOrderAsCoreLogic(t *testing.T) {
+	// The paper: "a L1 cache or similar-size SRAM are at the same order of
+	// magnitude with the compute logic of a core in area and power".
+	l1 := Cache(32 << 10)
+	core := CoreLogic()
+	if r := l1.AreaMM2 / core.AreaMM2; r < 0.5 || r > 5 {
+		t.Errorf("L1/core area ratio %.2f not same order", r)
+	}
+	if r := l1.PowerMW / core.PowerMW; r < 0.3 || r > 5 {
+		t.Errorf("L1/core power ratio %.2f not same order", r)
+	}
+}
+
+func TestAccessTimeFig20Anchors(t *testing.T) {
+	// 64 KiB scratchpad with 8 B port: more than one 1 GHz cycle.
+	if ns := AccessTimeNS(64<<10, 8); ns <= 1.0 {
+		t.Errorf("64K/8B access = %.2fns, want > 1 (2 cycles at 1 GHz)", ns)
+	}
+	// Stream buffer head FIFO at 64 B width: ~0.5 ns.
+	if ns := FIFOAccessTimeNS(64); ns < 0.4 || ns > 0.6 {
+		t.Errorf("FIFO 64B access = %.2fns, want ~0.5", ns)
+	}
+	// FIFO beats any scratchpad of useful size at the same width.
+	if FIFOAccessTimeNS(64) >= AccessTimeNS(64<<10, 64) {
+		t.Error("FIFO not faster than 64K scratchpad")
+	}
+	// Monotone in size and width.
+	if AccessTimeNS(128<<10, 8) <= AccessTimeNS(32<<10, 8) {
+		t.Error("access time not monotone in size")
+	}
+	if AccessTimeNS(64<<10, 64) <= AccessTimeNS(64<<10, 8) {
+		t.Error("access time not monotone in width")
+	}
+}
+
+func TestClockPeriodImplication(t *testing.T) {
+	// The AssasinSb pipeline's MEM stage uses the FIFO: its delay must
+	// allow a ~0.89 ns cycle (the 11% reduction), while the scratchpad
+	// cannot make 1 ns single-cycle at 64 KiB.
+	if FIFOAccessTimeNS(64) > 0.89 {
+		t.Error("FIFO too slow for the adjusted clock")
+	}
+	if AccessTimeNS(64<<10, 8) <= 1.0 {
+		t.Error("scratchpad should require 2 cycles at 1 GHz")
+	}
+}
+
+func TestComponentTable(t *testing.T) {
+	rows := ComponentTable()
+	if len(rows) < 6 {
+		t.Fatal("Table V inventory too small")
+	}
+	for _, r := range rows {
+		if r.Cost.AreaMM2 <= 0 || r.Cost.PowerMW <= 0 {
+			t.Errorf("%s has non-positive cost", r.Name)
+		}
+		if r.String() == "" {
+			t.Error("empty row string")
+		}
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{1, 2}
+	b := Cost{3, 4}
+	s := a.Add(b)
+	if s.AreaMM2 != 4 || s.PowerMW != 6 {
+		t.Error("Add wrong")
+	}
+	if sc := a.Scale(8); sc.AreaMM2 != 8 || sc.PowerMW != 16 {
+		t.Error("Scale wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import "container/heap"
+
+// Event is a callback scheduled at a point in simulated time.
+type Event struct {
+	At Time
+	Fn func(now Time)
+
+	seq   int64 // tie-breaker: FIFO among simultaneous events
+	index int   // heap index; -1 when not queued
+}
+
+// eventHeap implements container/heap ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// EventQueue is a time-ordered queue of events with FIFO tie-breaking. The
+// zero value is ready to use.
+type EventQueue struct {
+	heap eventHeap
+	now  Time
+	seq  int64
+}
+
+// Now returns the time of the most recently dispatched event.
+func (q *EventQueue) Now() Time { return q.now }
+
+// Schedule queues fn to run at time at. Scheduling in the past (before the
+// last dispatched event) snaps to the current time rather than violating
+// causality; callers that care should not do it.
+func (q *EventQueue) Schedule(at Time, fn func(now Time)) *Event {
+	if at < q.now {
+		at = q.now
+	}
+	q.seq++
+	e := &Event{At: at, Fn: fn, seq: q.seq}
+	heap.Push(&q.heap, e)
+	return e
+}
+
+// ScheduleAfter queues fn to run delta after the current time.
+func (q *EventQueue) ScheduleAfter(delta Time, fn func(now Time)) *Event {
+	return q.Schedule(q.now+delta, fn)
+}
+
+// Cancel removes a queued event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+		return
+	}
+	heap.Remove(&q.heap, e.index)
+}
+
+// Empty reports whether no events remain.
+func (q *EventQueue) Empty() bool { return len(q.heap) == 0 }
+
+// PeekTime returns the time of the next event, or MaxTime if none.
+func (q *EventQueue) PeekTime() Time {
+	if len(q.heap) == 0 {
+		return MaxTime
+	}
+	return q.heap[0].At
+}
+
+// Step dispatches the next event. It reports false when the queue is empty.
+func (q *EventQueue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	e := heap.Pop(&q.heap).(*Event)
+	q.now = e.At
+	e.Fn(e.At)
+	return true
+}
+
+// RunUntil dispatches events with At <= deadline and advances Now to
+// deadline (or to the last event time if that is later than the deadline
+// due to an exactly-at-deadline event). It returns the number of events run.
+func (q *EventQueue) RunUntil(deadline Time) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].At <= deadline {
+		q.Step()
+		n++
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+	return n
+}
+
+// FlushUntil dispatches events with At <= deadline like RunUntil, but never
+// advances Now past the last dispatched event — callers that may keep
+// using the queue afterwards (e.g. between back-to-back requests) must not
+// have the clock dragged to an arbitrary deadline.
+func (q *EventQueue) FlushUntil(deadline Time) int {
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].At <= deadline {
+		q.Step()
+		n++
+	}
+	return n
+}
+
+// Drain dispatches all remaining events, with a safety bound to surface
+// accidental event storms in tests. It returns the number of events run.
+func (q *EventQueue) Drain(maxEvents int) int {
+	n := 0
+	for q.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}

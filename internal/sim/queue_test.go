@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q EventQueue
+	var got []int
+	q.Schedule(30, func(Time) { got = append(got, 3) })
+	q.Schedule(10, func(Time) { got = append(got, 1) })
+	q.Schedule(20, func(Time) { got = append(got, 2) })
+	q.Drain(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("dispatch order = %v, want [1 2 3]", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("Now = %v, want 30", q.Now())
+	}
+}
+
+func TestEventQueueFIFOAtSameTime(t *testing.T) {
+	var q EventQueue
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(5, func(Time) { got = append(got, i) })
+	}
+	q.Drain(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	var q EventQueue
+	fired := false
+	e := q.Schedule(10, func(Time) { fired = true })
+	q.Cancel(e)
+	q.Cancel(e) // double-cancel is a no-op
+	q.Drain(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	var q EventQueue
+	var got []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		q.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	n := q.RunUntil(20)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("RunUntil(20) ran %d events (%v), want 2", n, got)
+	}
+	if q.Now() != 20 {
+		t.Errorf("Now = %v after RunUntil(20)", q.Now())
+	}
+	if q.PeekTime() != 25 {
+		t.Errorf("PeekTime = %v, want 25", q.PeekTime())
+	}
+}
+
+func TestEventQueueScheduleInPastSnaps(t *testing.T) {
+	var q EventQueue
+	q.Schedule(100, func(Time) {})
+	q.Step()
+	var at Time
+	q.Schedule(50, func(now Time) { at = now })
+	q.Step()
+	if at != 100 {
+		t.Errorf("past-scheduled event ran at %v, want snap to 100", at)
+	}
+}
+
+func TestEventQueueScheduleDuringDispatch(t *testing.T) {
+	var q EventQueue
+	var got []Time
+	q.Schedule(10, func(now Time) {
+		q.ScheduleAfter(5, func(n2 Time) { got = append(got, n2) })
+	})
+	q.Drain(0)
+	if len(got) != 1 || got[0] != 15 {
+		t.Fatalf("nested schedule: got %v, want [15]", got)
+	}
+}
+
+func TestEventQueueRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q EventQueue
+	var want []Time
+	var got []Time
+	for i := 0; i < 500; i++ {
+		at := Time(rng.Intn(10000))
+		want = append(want, at)
+		q.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	q.Drain(0)
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBandwidthServerSerialization(t *testing.T) {
+	s := NewBandwidthServer("dram", 8e9, 0) // 8 GB/s
+	// 64 B at 8 GB/s = 8 ns.
+	d1 := s.Access(0, 64)
+	if d1 != 8*Nanosecond {
+		t.Fatalf("first access done at %v, want 8ns", d1)
+	}
+	// Arrives while busy: serialized.
+	d2 := s.Access(4*Nanosecond, 64)
+	if d2 != 16*Nanosecond {
+		t.Fatalf("second access done at %v, want 16ns", d2)
+	}
+	// Arrives after idle gap: starts immediately.
+	d3 := s.Access(100*Nanosecond, 64)
+	if d3 != 108*Nanosecond {
+		t.Fatalf("third access done at %v, want 108ns", d3)
+	}
+	if s.Bytes() != 192 || s.Accesses() != 3 {
+		t.Errorf("stats: bytes=%d accesses=%d", s.Bytes(), s.Accesses())
+	}
+	if s.BusyTime() != 24*Nanosecond {
+		t.Errorf("busy = %v, want 24ns", s.BusyTime())
+	}
+	u := s.Utilization(108 * Nanosecond)
+	if u < 0.22 || u > 0.23 {
+		t.Errorf("utilization = %g, want ~24/108", u)
+	}
+}
+
+func TestBandwidthServerLatency(t *testing.T) {
+	s := NewBandwidthServer("link", 1e9, 50*Nanosecond)
+	done := s.Access(0, 1000) // 1 µs transfer + 50 ns latency
+	if done != Microsecond+50*Nanosecond {
+		t.Fatalf("done = %v", done)
+	}
+	// Latency does not occupy the server.
+	if s.NextFree() != Microsecond {
+		t.Fatalf("NextFree = %v, want 1us", s.NextFree())
+	}
+}
+
+func TestBandwidthServerUtilizationNeverExceedsOne(t *testing.T) {
+	s := NewBandwidthServer("x", 1e9, 0)
+	for i := 0; i < 100; i++ {
+		s.Access(0, 1000)
+	}
+	if u := s.Utilization(Microsecond); u > 1 {
+		t.Errorf("utilization %g > 1", u)
+	}
+}
+
+func TestBandwidthServerReset(t *testing.T) {
+	s := NewBandwidthServer("x", 1e9, 0)
+	s.Access(0, 4096)
+	s.Reset()
+	if s.Bytes() != 0 || s.BusyTime() != 0 || s.NextFree() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestEventQueueFlushUntilDoesNotAdvanceClock(t *testing.T) {
+	var q EventQueue
+	fired := 0
+	q.Schedule(10, func(Time) { fired++ })
+	q.Schedule(500, func(Time) { fired++ })
+	n := q.FlushUntil(1000)
+	if n != 2 || fired != 2 {
+		t.Fatalf("flush ran %d events", n)
+	}
+	if q.Now() != 500 {
+		t.Fatalf("Now = %v after flush, want 500 (not the 1000 deadline)", q.Now())
+	}
+	// Scheduling after the flush lands at sane times.
+	at := Time(-1)
+	q.Schedule(600, func(now Time) { at = now })
+	q.Drain(0)
+	if at != 600 {
+		t.Fatalf("post-flush event at %v", at)
+	}
+}

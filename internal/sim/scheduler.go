@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RunState describes what a Process did when asked to run.
+type RunState int
+
+const (
+	// StateReady means the process ran up to its limit and can keep going.
+	StateReady RunState = iota
+	// StateWaiting means the process is blocked until the returned wake
+	// time (which may be MaxTime if another process must Wake it).
+	StateWaiting
+	// StateDone means the process has finished and should not run again.
+	StateDone
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s RunState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateWaiting:
+		return "waiting"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("RunState(%d)", int(s))
+	}
+}
+
+// Process is a simulated active entity (a compute core, the firmware
+// processor) with its own local clock. The scheduler interleaves processes
+// conservatively: the process with the earliest local time runs first, for
+// at most one quantum, so accesses to shared resources arrive in
+// near-global-time order.
+type Process interface {
+	// Name identifies the process in stats and error messages.
+	Name() string
+	// Run advances the process from its current local time until it blocks,
+	// finishes, or its local time reaches limit. It returns the new local
+	// time, the resulting state, and — for StateWaiting — the earliest time
+	// the process should be retried (MaxTime when only an external Wake can
+	// unblock it).
+	Run(limit Time) (local Time, state RunState, wake Time)
+}
+
+// ErrDeadlock is returned by Scheduler.Run when every live process is
+// waiting for an external wake that can never arrive.
+var ErrDeadlock = errors.New("sim: deadlock: all processes waiting with no pending events")
+
+// procEntry tracks scheduler-side state for one process.
+type procEntry struct {
+	p       Process
+	local   Time
+	readyAt Time
+	done    bool
+}
+
+// Scheduler co-simulates a set of processes together with an event queue
+// (used by passive components such as the firmware's page pipeline).
+type Scheduler struct {
+	// Quantum bounds how far a process may run past the minimum local time
+	// of its peers, trading simulation fidelity for speed. The default
+	// (1 µs) is well under the 16 µs flash page transfer time that paces
+	// the modelled SSDs.
+	Quantum Time
+
+	Events EventQueue
+
+	procs []*procEntry
+	index map[Process]*procEntry
+}
+
+// NewScheduler returns a scheduler with the default quantum.
+func NewScheduler() *Scheduler {
+	return &Scheduler{Quantum: Microsecond, index: make(map[Process]*procEntry)}
+}
+
+// Add registers a process starting at local time 0. Re-adding a process
+// that already ran (e.g. a compute engine receiving its next request)
+// revives its entry: the local clock is preserved, done/ready state resets.
+func (s *Scheduler) Add(p Process) {
+	if e, ok := s.index[p]; ok {
+		e.done = false
+		e.readyAt = e.local
+		return
+	}
+	e := &procEntry{p: p}
+	s.procs = append(s.procs, e)
+	s.index[p] = e
+}
+
+// Wake makes a waiting process runnable no later than t. Waking an unknown
+// or finished process is a no-op.
+func (s *Scheduler) Wake(p Process, t Time) {
+	e, ok := s.index[p]
+	if !ok || e.done {
+		return
+	}
+	if t < e.local {
+		t = e.local
+	}
+	if t < e.readyAt {
+		e.readyAt = t
+	}
+}
+
+// Now returns the minimum local time across live processes, i.e. the
+// committed simulation horizon. When all processes are done it returns the
+// maximum local time instead.
+func (s *Scheduler) Now() Time {
+	minLive := MaxTime
+	maxDone := Time(0)
+	for _, e := range s.procs {
+		if e.done {
+			maxDone = MaxT(maxDone, e.local)
+			continue
+		}
+		minLive = MinT(minLive, e.local)
+	}
+	if minLive == MaxTime {
+		return maxDone
+	}
+	return minLive
+}
+
+// Run drives all processes to completion or to the deadline. It returns the
+// final simulation time, or ErrDeadlock if progress becomes impossible.
+func (s *Scheduler) Run(deadline Time) (Time, error) {
+	if s.Quantum <= 0 {
+		s.Quantum = Microsecond
+	}
+	for {
+		// Pick the live process with the earliest readiness.
+		var next *procEntry
+		for _, e := range s.procs {
+			if e.done {
+				continue
+			}
+			if next == nil || e.readyAt < next.readyAt {
+				next = e
+			}
+		}
+		if next == nil {
+			// All processes finished; flush remaining passive events
+			// (output drains, posted writes) before reporting completion.
+			// The event clock must not jump to the deadline: the next
+			// request reuses this scheduler.
+			s.Events.FlushUntil(deadline)
+			return s.Now(), nil
+		}
+
+		// A process waiting for an unknown wake must not drag the event
+		// clock forward: dispatch events one at a time until one wakes it.
+		if next.readyAt == MaxTime {
+			if !s.Events.Empty() {
+				s.Events.Step()
+				continue
+			}
+			return s.Now(), fmt.Errorf("%w (e.g. %s)", ErrDeadlock, next.p.Name())
+		}
+		if next.readyAt >= deadline {
+			s.Events.FlushUntil(deadline)
+			return deadline, nil
+		}
+
+		// Let the event world catch up to the chosen process, then give
+		// queued events a chance to wake earlier sleepers.
+		s.Events.RunUntil(next.readyAt)
+		for _, e := range s.procs {
+			if !e.done && e.readyAt < next.readyAt {
+				next = e
+			}
+		}
+
+		if next.readyAt > next.local {
+			next.local = next.readyAt // the process was stalled; jump forward
+		}
+		limit := MinT(next.local+s.Quantum, deadline)
+		local, state, wake := next.p.Run(limit)
+		if local < next.local {
+			local = next.local
+		}
+		next.local = local
+		switch state {
+		case StateDone:
+			next.done = true
+		case StateWaiting:
+			if wake < local {
+				wake = local
+			}
+			next.readyAt = wake
+		default:
+			next.readyAt = local
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package ssd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+)
+
+// TestSoakAllKernelsAllArchitectures randomly sizes inputs and verifies
+// every splittable kernel's output bit-for-bit on every architecture — the
+// broad functional-equivalence sweep behind the performance claims.
+func TestSoakAllKernelsAllArchitectures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is slow")
+	}
+	rng := rand.New(rand.NewSource(2022))
+	type workload struct {
+		name    string
+		kernel  kernels.Kernel
+		rec     int
+		nIn     int
+		makeIn  func(n int, seed int64) []byte
+		outKind firmware.OutKind
+	}
+	mlp := kernels.MLP{In: 8, Hidden: 8}
+	workloads := []workload{
+		{"filter", kernels.Filter{TupleSize: 16, Preds: []kernels.FieldPred{{Offset: 0, Lo: 100, Hi: 1 << 30}}}, 16, 1, randSoak, firmware.OutToHost},
+		{"select", kernels.Select{TupleSize: 16, FieldOffsets: []int{4, 12}}, 16, 1, randSoak, firmware.OutToHost},
+		{"raid4", kernels.RAID4{K: 2}, 4, 2, randSoak, firmware.OutToFlash},
+		{"dedup", kernels.Dedup{ChunkSize: 64, TableEntries: 256}, 64, 1, dupSoak, firmware.OutToHost},
+		{"replicate", kernels.Replicate{}, 4, 1, randSoak, firmware.OutToHost},
+		{"mlp", mlp, mlp.RecordSize(), 1, smallValSoak, firmware.OutToHost},
+	}
+	for _, w := range workloads {
+		for _, arch := range AllArchs() {
+			cores := 1 + rng.Intn(4)
+			size := (1 + rng.Intn(4)) * 16 << 10
+			size -= size % (w.rec * cores * 4)
+			if size == 0 {
+				size = w.rec * cores * 4
+			}
+			var inputs [][]byte
+			var lpaLists [][]int
+			var lengths []int64
+			s := New(Options{Arch: arch, Cores: cores})
+			for i := 0; i < w.nIn; i++ {
+				in := w.makeIn(size, rng.Int63())
+				inputs = append(inputs, in)
+				lpas, err := s.InstallBytes(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lpaLists = append(lpaLists, lpas)
+				lengths = append(lengths, int64(len(in)))
+			}
+			res, err := s.RunKernel(KernelRun{
+				Kernel:     w.kernel,
+				Inputs:     lpaLists,
+				InputBytes: lengths,
+				RecordSize: w.rec,
+				Cores:      cores,
+				OutKind:    w.outKind,
+				Collect:    true,
+			})
+			if err != nil {
+				t.Fatalf("%s on %v (%d cores, %d B): %v", w.name, arch, cores, size, err)
+			}
+			ranges := PartitionBytes(int64(len(inputs[0])), cores, w.rec)
+			for slot := 0; slot < w.kernel.Outputs(); slot++ {
+				var got []byte
+				for _, outs := range res.Outputs {
+					got = append(got, outs[slot]...)
+				}
+				var want []byte
+				for _, r := range ranges {
+					var parts [][]byte
+					for _, in := range inputs {
+						parts = append(parts, in[r.Start:r.End])
+					}
+					ref, err := w.kernel.Reference(parts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want = append(want, ref[slot]...)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s on %v: output %d mismatch (%d vs %d bytes)", w.name, arch, slot, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func randSoak(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func dupSoak(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	chunk := make([]byte, 64)
+	out := make([]byte, 0, n)
+	for len(out)+64 <= n {
+		if rng.Intn(2) == 0 {
+			rng.Read(chunk)
+		}
+		out = append(out, chunk...)
+	}
+	for len(out) < n {
+		out = append(out, 0)
+	}
+	return out[:n-n%64]
+}
+
+func smallValSoak(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := 0; i+4 <= n; i += 4 {
+		out[i] = byte(rng.Intn(128))
+	}
+	return out
+}

@@ -1,0 +1,442 @@
+// Package ssd assembles complete computational SSDs: the flash array, FTL,
+// SSD DRAM, crossbar, firmware engine, and compute engines with the
+// per-configuration memory hierarchies of Table IV (Baseline, UDP,
+// Prefetch, AssasinSp, AssasinSb, AssasinSb$), plus the channel-local
+// alternative architecture of Fig. 7 used in the skew study.
+package ssd
+
+import (
+	"fmt"
+
+	"assasin/internal/asm"
+	"assasin/internal/core"
+	"assasin/internal/cpu"
+	"assasin/internal/crossbar"
+	"assasin/internal/firmware"
+	"assasin/internal/flash"
+	"assasin/internal/ftl"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+// Arch identifies a Table IV configuration.
+type Arch int
+
+// Architectures.
+const (
+	// Baseline: in-order RV32IM cores with 32K L1D + 256K L2, data staged
+	// in SSD DRAM — the state-of-the-art general-purpose computational SSD.
+	Baseline Arch = iota
+	// UDP: accelerator lanes with 256K private scratchpads, branch-free
+	// dispatch, data copied from SSD DRAM into the scratchpads by firmware.
+	UDP
+	// Prefetch: Baseline plus a DCPT prefetcher at the L1.
+	Prefetch
+	// AssasinSp: ping-pong scratchpads fed from flash through the crossbar,
+	// bypassing SSD DRAM; software-managed stream pointers.
+	AssasinSp
+	// AssasinSb: stream buffers with the stream ISA extension and a 64K
+	// scratchpad for function state.
+	AssasinSb
+	// AssasinSbCache: AssasinSb plus a 32K L1D backed by DRAM for state
+	// that overflows the scratchpad.
+	AssasinSbCache
+)
+
+// String implements fmt.Stringer with the paper's configuration names.
+func (a Arch) String() string {
+	switch a {
+	case Baseline:
+		return "Baseline"
+	case UDP:
+		return "UDP"
+	case Prefetch:
+		return "Prefetch"
+	case AssasinSp:
+		return "AssasinSp"
+	case AssasinSb:
+		return "AssasinSb"
+	case AssasinSbCache:
+		return "AssasinSb$"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// AllArchs lists the six evaluated configurations in Table IV order.
+func AllArchs() []Arch {
+	return []Arch{Baseline, UDP, Prefetch, AssasinSp, AssasinSb, AssasinSbCache}
+}
+
+// IsStream reports whether kernels for this architecture use the stream ISA
+// extension (vs software-managed pointers over staged windows).
+func (a Arch) IsStream() bool { return a == AssasinSb || a == AssasinSbCache }
+
+// Options configures an SSD instance.
+type Options struct {
+	Arch  Arch
+	Cores int
+	// TimingAdjusted applies the Fig. 20/21 circuit results: AssasinSb
+	// cores clock 11% faster; scratchpad accesses take 2 cycles.
+	TimingAdjusted bool
+	// ChannelLocal replaces the crossbar with fixed per-channel compute
+	// (the Fig. 7 application-specific alternative).
+	ChannelLocal bool
+	// Layout is the FTL placement policy (nil = striped).
+	Layout ftl.Policy
+	// Flash overrides the flash geometry (zero value = DefaultFlashConfig).
+	Flash flash.Config
+	// DRAM overrides the DRAM model (zero value = paper's 8 GB/s LPDDR5).
+	DRAM memhier.DRAMConfig
+	// StreamSlots is S, input and output stream slots per core.
+	StreamSlots int
+	// WindowPages is P, the per-slot input window in flash pages.
+	// Zero selects the architecture default (P=2 for ASSASIN variants,
+	// a larger DRAM staging window for Baseline/Prefetch/UDP).
+	WindowPages int
+	// OutWindowPages sizes the per-slot output window.
+	OutWindowPages int
+}
+
+// DefaultFlashConfig is the evaluation geometry: 8 channels × 1 GB/s,
+// 4 KiB pages, enough chips per channel that the bus stays the bottleneck.
+func DefaultFlashConfig() flash.Config {
+	return flash.Config{
+		Channels:         8,
+		ChipsPerChannel:  16,
+		BlocksPerChip:    256,
+		PagesPerBlock:    64,
+		PageSize:         4 << 10,
+		ChannelBandwidth: 1e9,
+		ReadLatency:      25 * sim.Microsecond,
+		ProgramLatency:   200 * sim.Microsecond,
+		EraseLatency:     2 * sim.Millisecond,
+	}
+}
+
+// SSD is one assembled computational SSD.
+type SSD struct {
+	Opt     Options
+	Sched   *sim.Scheduler
+	DRAM    *memhier.DRAM
+	Array   *flash.Array
+	FTL     *ftl.FTL
+	Xbar    *crossbar.Crossbar
+	Cores   []*cpu.Core
+	Systems []*memhier.System
+
+	nextDataLPA int
+}
+
+// New assembles an SSD.
+func New(opt Options) *SSD {
+	if opt.Cores <= 0 {
+		opt.Cores = 8
+	}
+	if opt.Flash.Channels == 0 {
+		opt.Flash = DefaultFlashConfig()
+	}
+	if opt.DRAM.BandwidthBytesPerSec == 0 {
+		opt.DRAM = memhier.DefaultDRAMConfig()
+	}
+	if opt.StreamSlots <= 0 {
+		opt.StreamSlots = 8
+	}
+	if opt.WindowPages <= 0 {
+		switch opt.Arch {
+		case Baseline, Prefetch, UDP:
+			// DRAM staging buffers: deep enough to decouple cores from
+			// flash latency, shallow enough that fill traffic is paced by
+			// consumption instead of racing the whole dataset into DRAM.
+			opt.WindowPages = 8
+		default:
+			// The paper's P=2 with 16 KiB flash pages gives a 32 KiB window
+			// per slot; at this model's 4 KiB pages that is 8 window pages.
+			opt.WindowPages = 8
+		}
+	}
+	if opt.OutWindowPages <= 0 {
+		switch opt.Arch {
+		case Baseline, Prefetch, UDP:
+			opt.OutWindowPages = 64
+		default:
+			opt.OutWindowPages = 8
+		}
+	}
+
+	s := &SSD{Opt: opt, Sched: sim.NewScheduler()}
+	s.DRAM = memhier.NewDRAM(opt.DRAM)
+	s.Array = flash.New(opt.Flash)
+	s.FTL = ftl.New(s.Array, opt.Layout)
+	if !opt.ChannelLocal {
+		s.Xbar = crossbar.New(crossbar.DefaultConfig(opt.Cores))
+	}
+
+	coreClock := sim.NewClock(1e9)
+	spCycles := 1
+	if opt.TimingAdjusted {
+		// Fig. 20: 64 KiB scratchpads need 2 cycles at 1 GHz; the
+		// streambuffer's prefetched head FIFO lets the whole AssasinSb
+		// pipeline clock 11% faster.
+		spCycles = 2
+		if opt.Arch.IsStream() {
+			coreClock = sim.Clock{Period: 890 * sim.Picosecond}
+			spCycles = 2
+		}
+	}
+
+	for i := 0; i < opt.Cores; i++ {
+		name := fmt.Sprintf("%s-core%d", opt.Arch, i)
+		client := fmt.Sprintf("core%d", i)
+		var sys *memhier.System
+		var eng *cpu.Core
+
+		switch opt.Arch {
+		case AssasinSp, AssasinSb, AssasinSbCache:
+			// The ASSASIN core composition (internal/core): stream windows
+			// fed through the crossbar plus a state scratchpad. Stream data
+			// hits the single-cycle head FIFO on Sb/Sb$; AssasinSp serves
+			// every stream access from its ping-pong scratchpads and is the
+			// configuration penalized by the Fig. 20 timing (2 cycles).
+			ccfg := core.Config{
+				Name:             name,
+				Clock:            coreClock,
+				StreamSlots:      opt.StreamSlots,
+				WindowPages:      opt.WindowPages,
+				PageSize:         opt.Flash.PageSize,
+				ScratchpadBytes:  64 << 10,
+				ScratchpadCycles: 1,
+				WithCache:        opt.Arch == AssasinSbCache,
+			}
+			if opt.Arch == AssasinSp {
+				ccfg.ScratchpadCycles = spCycles
+			}
+			built, err := core.Build(ccfg, s.DRAM, client)
+			if err != nil {
+				panic(err) // geometry is internally consistent
+			}
+			sys, eng = built.Sys, built.CPU
+
+		default:
+			sys = &memhier.System{
+				Clock:   coreClock,
+				DRAM:    s.DRAM,
+				Backing: memhier.NewSparseMem(),
+				Streams: memhier.NewStreamBuffer(opt.StreamSlots, opt.WindowPages, opt.Flash.PageSize),
+				Client:  client,
+			}
+			switch opt.Arch {
+			case Baseline, Prefetch:
+				l2 := memhier.NewCache(memhier.CacheConfig{
+					Name: "l2", Size: 256 << 10, Ways: 16, LineSize: 64,
+					HitLatency: 10 * sim.Nanosecond,
+				}, memhier.DRAMLevel{DRAM: s.DRAM})
+				l1 := memhier.NewCache(memhier.CacheConfig{
+					Name: "l1d", Size: 32 << 10, Ways: 8, LineSize: 64,
+				}, l2)
+				if opt.Arch == Prefetch {
+					l1.AttachPrefetcher(memhier.NewPrefetcher(8))
+				}
+				sys.L1 = l1
+				sys.ViewPath = memhier.ViewCached
+			case UDP:
+				sys.Scratchpad = memhier.NewScratchpad(256 << 10)
+				// A 256 KiB scratchpad cannot be read in one 1 GHz cycle
+				// (the Fig. 20 SRAM timing model gives ~1.3 ns): UDP lanes
+				// pay 2-cycle accesses, one reason the paper finds the
+				// general-purpose AssasinSb ahead of the UDP accelerator.
+				sys.Scratchpad.AccessCycles = 2
+				sys.ViewPath = memhier.ViewScratchpad
+			}
+			ccfg := cpu.DefaultConfig(name)
+			ccfg.Clock = coreClock
+			ccfg.BranchFree = opt.Arch == UDP
+			eng = cpu.New(ccfg, sys)
+		}
+
+		// Output windows may differ in depth from input windows.
+		for j := range sys.Streams.Out {
+			sys.Streams.Out[j] = memhier.NewOutStream(opt.OutWindowPages, opt.Flash.PageSize)
+		}
+		s.Cores = append(s.Cores, eng)
+		s.Systems = append(s.Systems, sys)
+	}
+	return s
+}
+
+// DataPath returns the firmware data path for this architecture.
+func (s *SSD) DataPath() firmware.DataPath {
+	switch s.Opt.Arch {
+	case Baseline, Prefetch:
+		return firmware.PathDRAMStage
+	case UDP:
+		return firmware.PathDRAMCopy
+	default:
+		return firmware.PathCrossbar
+	}
+}
+
+// InstallBytes writes data into the flash array as a fresh dataset (no
+// simulated time) and returns the logical pages backing it.
+func (s *SSD) InstallBytes(data []byte) ([]int, error) {
+	ps := s.Opt.Flash.PageSize
+	var lpas []int
+	for off := 0; off < len(data); off += ps {
+		end := off + ps
+		if end > len(data) {
+			end = len(data)
+		}
+		lpa := s.nextDataLPA
+		s.nextDataLPA++
+		if err := s.FTL.Install(lpa, data[off:end]); err != nil {
+			return nil, err
+		}
+		lpas = append(lpas, lpa)
+	}
+	return lpas, nil
+}
+
+// ReserveLPAs reserves logical pages for output streams (OutToFlash).
+func (s *SSD) ReserveLPAs(n int) int {
+	start := s.nextDataLPA
+	s.nextDataLPA += n
+	return start
+}
+
+// TaskSpec describes one core's share of an offload.
+type TaskSpec struct {
+	Program *asm.Program
+	Inputs  []firmware.StreamSpec
+	Outputs []firmware.OutTarget
+	// Regs are initial register values (argument passing).
+	Regs map[asm.Reg]uint32
+	// Scratch is preloaded into the scratchpad (function state) for
+	// scratchpad architectures; for cached architectures it is placed in
+	// DRAM at StateBase instead.
+	Scratch []byte
+	// StateBase is where Scratch was assumed to live when the program was
+	// built (memhier.ScratchpadBase or a DRAM address).
+	StateBase uint32
+}
+
+// Result summarizes one offload run.
+type Result struct {
+	// Duration is the request completion time (last page drained).
+	Duration sim.Time
+	// InputBytes is the total stream bytes delivered to cores.
+	InputBytes int64
+	// Outputs[i][j] holds collected output bytes of task i, slot j.
+	Outputs [][][]byte
+	// CoreStats per task.
+	CoreStats []cpu.Stats
+	// FinalRegs per task (for kernels returning results in registers).
+	FinalRegs [][]uint32
+}
+
+// Throughput returns input bytes per second over the run.
+func (r *Result) Throughput() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.InputBytes) / r.Duration.Seconds()
+}
+
+// RunOffload executes one computational-storage request across the SSD's
+// cores. Each TaskSpec is assigned to the same-indexed core. Requests may
+// be submitted back to back on the same SSD: the firmware resets core and
+// stream-buffer state between requests (Listing 1's reset semantics) while
+// the simulated clock, flash contents and FTL state carry forward.
+func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
+	if len(tasks) > len(s.Cores) {
+		return nil, fmt.Errorf("ssd: %d tasks for %d cores", len(tasks), len(s.Cores))
+	}
+	if deadline <= 0 {
+		deadline = 100 * sim.Second
+	}
+
+	engine := firmware.New(firmware.Config{
+		PageSize: s.Opt.Flash.PageSize,
+		Path:     s.DataPath(),
+	}, s.Sched, s.FTL, s.DRAM, s.Xbar)
+
+	start := s.Sched.Now()
+	var fwTasks []firmware.Task
+	var totalIn int64
+	for i, t := range tasks {
+		core := s.Cores[i]
+		// Fresh stream-buffer state per request (the firmware resets the
+		// core's streams along with its PC and pipeline).
+		s.Systems[i].Streams = memhier.NewStreamBuffer(s.Opt.StreamSlots, s.Opt.WindowPages, s.Opt.Flash.PageSize)
+		for j := range s.Systems[i].Streams.Out {
+			s.Systems[i].Streams.Out[j] = memhier.NewOutStream(s.Opt.OutWindowPages, s.Opt.Flash.PageSize)
+		}
+		core.LoadProgram(t.Program)
+		for r, v := range t.Regs {
+			core.SetReg(r, v)
+		}
+		if len(t.Scratch) > 0 {
+			if t.StateBase >= memhier.DRAMBase || t.StateBase < memhier.ScratchpadBase {
+				s.Systems[i].Backing.WriteRange(t.StateBase, t.Scratch)
+			} else {
+				if s.Systems[i].Scratchpad == nil {
+					return nil, fmt.Errorf("ssd: task %d preloads scratchpad but %s has none", i, s.Opt.Arch)
+				}
+				if err := s.Systems[i].Scratchpad.LoadBytes(t.StateBase-memhier.ScratchpadBase, t.Scratch); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, in := range t.Inputs {
+			totalIn += in.TotalBytes()
+		}
+		fwTasks = append(fwTasks, firmware.Task{
+			Core:    core,
+			CoreID:  i,
+			Inputs:  t.Inputs,
+			Outputs: t.Outputs,
+		})
+		s.Sched.Add(core)
+	}
+	if err := engine.Submit(fwTasks); err != nil {
+		return nil, err
+	}
+	if _, err := s.Sched.Run(deadline); err != nil {
+		// A data-plane failure leaves cores waiting forever; surface the
+		// root cause rather than the resulting scheduler deadlock.
+		if ferr := engine.Err(); ferr != nil {
+			return nil, fmt.Errorf("ssd: %s firmware: %w", s.Opt.Arch, ferr)
+		}
+		return nil, fmt.Errorf("ssd: %s: %w", s.Opt.Arch, err)
+	}
+	for i := range tasks {
+		if err := s.Cores[i].Err(); err != nil {
+			return nil, fmt.Errorf("ssd: %s core %d: %w", s.Opt.Arch, i, err)
+		}
+	}
+	if err := engine.Err(); err != nil {
+		return nil, fmt.Errorf("ssd: %s firmware: %w", s.Opt.Arch, err)
+	}
+	if !engine.Done() {
+		return nil, fmt.Errorf("ssd: %s: request incomplete at deadline %v", s.Opt.Arch, deadline)
+	}
+
+	dur := engine.CompletionTime() - start
+	if dur < 0 {
+		dur = 0
+	}
+	res := &Result{Duration: dur, InputBytes: totalIn}
+	for i, t := range tasks {
+		var outs [][]byte
+		for j := range t.Outputs {
+			outs = append(outs, engine.Collected(i, j))
+		}
+		res.Outputs = append(res.Outputs, outs)
+		res.CoreStats = append(res.CoreStats, s.Cores[i].Stats())
+		regs := make([]uint32, 32)
+		for r := 0; r < 32; r++ {
+			regs[r] = s.Cores[i].Reg(uint8(r))
+		}
+		res.FinalRegs = append(res.FinalRegs, regs)
+	}
+	return res, nil
+}

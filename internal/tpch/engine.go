@@ -1,0 +1,280 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WorkMeter accumulates abstract host-CPU work units while a query plan
+// executes. Costs are per row touched, weighted by operator kind; the host
+// model converts work units into time. Parse cost is tracked separately
+// because offloading Parse/Select/Filter into the SSD removes exactly that
+// component (plus shrinking every downstream operator's input).
+type WorkMeter struct {
+	ParseUnits float64
+	ScanUnits  float64
+	JoinUnits  float64
+	AggUnits   float64
+	SortUnits  float64
+}
+
+// Operator row costs in work units. Ratios are what matter: parsing a CSV
+// row is far more expensive than probing a hash table with it.
+const (
+	costParseByte = 1.0  // per input byte (byte-at-a-time tokenizing)
+	costScanRow   = 4.0  // predicate evaluation on a materialized row
+	costJoinBuild = 8.0  // hash insert
+	costJoinProbe = 6.0  // hash probe
+	costAggRow    = 6.0  // group lookup + accumulate
+	costSortRow   = 12.0 // comparison-sort share per row
+)
+
+// Total returns all work units.
+func (w *WorkMeter) Total() float64 {
+	return w.ParseUnits + w.ScanUnits + w.JoinUnits + w.AggUnits + w.SortUnits
+}
+
+// Add accumulates another meter.
+func (w *WorkMeter) Add(o WorkMeter) {
+	w.ParseUnits += o.ParseUnits
+	w.ScanUnits += o.ScanUnits
+	w.JoinUnits += o.JoinUnits
+	w.AggUnits += o.AggUnits
+	w.SortUnits += o.SortUnits
+}
+
+// Exec is an execution context binding a dataset and a work meter.
+type Exec struct {
+	DS   *Dataset
+	Work WorkMeter
+}
+
+// NewExec returns an execution context over ds.
+func NewExec(ds *Dataset) *Exec { return &Exec{DS: ds} }
+
+// ChargeParse records host-side parsing of n input bytes (the work the PSF
+// offload eliminates).
+func (e *Exec) ChargeParse(bytes int64) {
+	e.Work.ParseUnits += costParseByte * float64(bytes)
+}
+
+// Filter returns the rows of r satisfying pred.
+func (e *Exec) Filter(r *Relation, pred func(row []int64) bool) *Relation {
+	out := &Relation{Name: r.Name + "_f", ColNames: r.ColNames}
+	e.Work.ScanUnits += costScanRow * float64(len(r.Rows))
+	for _, row := range r.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Project returns the chosen columns of r.
+func (e *Exec) Project(r *Relation, cols ...int) *Relation {
+	out := &Relation{Name: r.Name + "_p"}
+	for _, c := range cols {
+		name := fmt.Sprintf("c%d", c)
+		if c < len(r.ColNames) {
+			name = r.ColNames[c]
+		}
+		out.ColNames = append(out.ColNames, name)
+	}
+	e.Work.ScanUnits += costScanRow * float64(len(r.Rows)) / 4 // cheap copy
+	for _, row := range r.Rows {
+		nr := make([]int64, len(cols))
+		for i, c := range cols {
+			nr[i] = row[c]
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// HashJoin joins left and right on left[lk] == right[rk], concatenating
+// rows. The smaller relation should be on the left (build side).
+func (e *Exec) HashJoin(left, right *Relation, lk, rk int) *Relation {
+	out := &Relation{
+		Name:     left.Name + "⋈" + right.Name,
+		ColNames: append(append([]string{}, left.ColNames...), right.ColNames...),
+	}
+	e.Work.JoinUnits += costJoinBuild * float64(len(left.Rows))
+	e.Work.JoinUnits += costJoinProbe * float64(len(right.Rows))
+	ht := make(map[int64][][]int64, len(left.Rows))
+	for _, row := range left.Rows {
+		ht[row[lk]] = append(ht[row[lk]], row)
+	}
+	for _, rrow := range right.Rows {
+		for _, lrow := range ht[rrow[rk]] {
+			nr := make([]int64, 0, len(lrow)+len(rrow))
+			nr = append(nr, lrow...)
+			nr = append(nr, rrow...)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return out
+}
+
+// SemiJoin keeps right rows whose key appears in left (for EXISTS/IN).
+func (e *Exec) SemiJoin(left *Relation, lk int, right *Relation, rk int) *Relation {
+	out := &Relation{Name: right.Name + "_semi", ColNames: right.ColNames}
+	e.Work.JoinUnits += costJoinBuild * float64(len(left.Rows))
+	e.Work.JoinUnits += costJoinProbe * float64(len(right.Rows))
+	set := make(map[int64]bool, len(left.Rows))
+	for _, row := range left.Rows {
+		set[row[lk]] = true
+	}
+	for _, row := range right.Rows {
+		if set[row[rk]] {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// AntiJoin keeps right rows whose key does NOT appear in left.
+func (e *Exec) AntiJoin(left *Relation, lk int, right *Relation, rk int) *Relation {
+	out := &Relation{Name: right.Name + "_anti", ColNames: right.ColNames}
+	e.Work.JoinUnits += costJoinBuild * float64(len(left.Rows))
+	e.Work.JoinUnits += costJoinProbe * float64(len(right.Rows))
+	set := make(map[int64]bool, len(left.Rows))
+	for _, row := range left.Rows {
+		set[row[lk]] = true
+	}
+	for _, row := range right.Rows {
+		if !set[row[rk]] {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// AggSpec is one aggregate over a grouped relation.
+type AggSpec struct {
+	Kind AggKind
+	// Value extracts the aggregated value from a row (ignored for Count).
+	Value func(row []int64) int64
+}
+
+// AggKind enumerates aggregates.
+type AggKind int
+
+// Aggregate kinds.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// GroupBy groups r by the key function and computes aggregates. The result
+// rows are [groupKeyCols..., agg0, agg1, ...].
+func (e *Exec) GroupBy(r *Relation, key func(row []int64) []int64, aggs []AggSpec) *Relation {
+	e.Work.AggUnits += costAggRow * float64(len(r.Rows))
+	type group struct {
+		key    []int64
+		sums   []int64
+		counts []int64
+		mins   []int64
+		maxs   []int64
+		n      int64
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range r.Rows {
+		k := key(row)
+		ks := keyString(k)
+		g := groups[ks]
+		if g == nil {
+			g = &group{
+				key:    k,
+				sums:   make([]int64, len(aggs)),
+				counts: make([]int64, len(aggs)),
+				mins:   make([]int64, len(aggs)),
+				maxs:   make([]int64, len(aggs)),
+			}
+			for i := range g.mins {
+				g.mins[i] = 1<<63 - 1
+				g.maxs[i] = -(1 << 63)
+			}
+			groups[ks] = g
+			order = append(order, ks)
+		}
+		g.n++
+		for i, a := range aggs {
+			if a.Kind == AggCount {
+				g.counts[i]++
+				continue
+			}
+			v := a.Value(row)
+			g.sums[i] += v
+			g.counts[i]++
+			if v < g.mins[i] {
+				g.mins[i] = v
+			}
+			if v > g.maxs[i] {
+				g.maxs[i] = v
+			}
+		}
+	}
+	out := &Relation{Name: r.Name + "_g"}
+	for _, ks := range order {
+		g := groups[ks]
+		row := append([]int64{}, g.key...)
+		for i, a := range aggs {
+			switch a.Kind {
+			case AggSum:
+				row = append(row, g.sums[i])
+			case AggCount:
+				row = append(row, g.counts[i])
+			case AggMin:
+				row = append(row, g.mins[i])
+			case AggMax:
+				row = append(row, g.maxs[i])
+			case AggAvg:
+				if g.counts[i] > 0 {
+					row = append(row, g.sums[i]/g.counts[i])
+				} else {
+					row = append(row, 0)
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func keyString(k []int64) string {
+	b := make([]byte, 0, len(k)*9)
+	for _, v := range k {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(v>>(8*i)))
+		}
+		b = append(b, ':')
+	}
+	return string(b)
+}
+
+// OrderBy sorts r by the comparison function (stable).
+func (e *Exec) OrderBy(r *Relation, less func(a, b []int64) bool) *Relation {
+	e.Work.SortUnits += costSortRow * float64(len(r.Rows))
+	out := &Relation{Name: r.Name + "_s", ColNames: r.ColNames, Rows: append([][]int64{}, r.Rows...)}
+	sort.SliceStable(out.Rows, func(i, j int) bool { return less(out.Rows[i], out.Rows[j]) })
+	return out
+}
+
+// Limit truncates r to n rows.
+func (e *Exec) Limit(r *Relation, n int) *Relation {
+	if len(r.Rows) <= n {
+		return r
+	}
+	return &Relation{Name: r.Name, ColNames: r.ColNames, Rows: r.Rows[:n]}
+}
+
+// FromRows wraps pre-filtered rows (e.g. tuples returned by the SSD's PSF
+// offload) as a relation without charging scan work — the SSD already did
+// it.
+func FromRows(name string, rows [][]int64) *Relation {
+	return &Relation{Name: name, Rows: rows}
+}

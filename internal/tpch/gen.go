@@ -1,0 +1,256 @@
+package tpch
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+)
+
+// Row counts at SF=1, scaled linearly (dimension tables stay fixed as in
+// TPC-H).
+const (
+	sfSupplier = 10000
+	sfCustomer = 150000
+	sfPart     = 200000
+	sfOrders   = 1500000
+)
+
+// Generate builds a deterministic dataset at scale factor sf (e.g. 0.001
+// for quick tests, 0.01 for benchmarks). Seed variation is deliberate and
+// fixed so experiment results are reproducible.
+func Generate(sf float64) *Dataset {
+	if sf <= 0 {
+		sf = 0.001
+	}
+	d := &Dataset{SF: sf}
+	rng := rand.New(rand.NewSource(20220622)) // the MICRO'22 submission date
+
+	d.Region = genRegion()
+	d.Nation = genNation()
+	d.Supplier = genSupplier(rng, scale(sfSupplier, sf, 10))
+	d.Customer = genCustomer(rng, scale(sfCustomer, sf, 30))
+	d.Part = genPart(rng, scale(sfPart, sf, 40))
+	d.Partsupp = genPartsupp(rng, d.Part.NumRows())
+	nOrders := scale(sfOrders, sf, 50)
+	d.Orders, d.Lineitem = genOrdersLineitem(rng, nOrders, d.Customer.NumRows(), d.Part.NumRows(), d.Supplier.NumRows())
+	return d
+}
+
+func scale(base int, sf float64, min int) int {
+	n := int(float64(base) * sf)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func genRegion() *Relation {
+	r := &Relation{Name: "region", ColNames: []string{"r_regionkey", "r_name", "r_comment"}}
+	for i := 0; i < 5; i++ {
+		r.Rows = append(r.Rows, []int64{int64(i), int64(i), int64(i * 7)})
+	}
+	return r
+}
+
+func genNation() *Relation {
+	r := &Relation{Name: "nation", ColNames: []string{"n_nationkey", "n_name", "n_regionkey", "n_comment"}}
+	for i := 0; i < 25; i++ {
+		r.Rows = append(r.Rows, []int64{int64(i), int64(i), int64(i % 5), int64(i * 3)})
+	}
+	return r
+}
+
+func genSupplier(rng *rand.Rand, n int) *Relation {
+	r := &Relation{Name: "supplier", ColNames: []string{"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"}}
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, []int64{
+			int64(i + 1),
+			int64(rng.Intn(1 << 20)),
+			int64(rng.Intn(1 << 20)),
+			int64(rng.Intn(25)),
+			int64(rng.Intn(1 << 30)),
+			int64(rng.Intn(1100000)), // 0 .. $11,000.00 in cents
+			int64(rng.Intn(10000)),   // comment hash bucket
+		})
+	}
+	return r
+}
+
+func genCustomer(rng *rand.Rand, n int) *Relation {
+	r := &Relation{Name: "customer", ColNames: []string{"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"}}
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, []int64{
+			int64(i + 1),
+			int64(rng.Intn(1 << 20)),
+			int64(rng.Intn(1 << 20)),
+			int64(rng.Intn(25)),
+			int64(rng.Intn(1 << 30)),
+			int64(rng.Intn(1100000)),
+			int64(rng.Intn(numSegments)),
+			int64(rng.Intn(10000)),
+		})
+	}
+	return r
+}
+
+func genPart(rng *rand.Rand, n int) *Relation {
+	r := &Relation{Name: "part", ColNames: []string{"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"}}
+	for i := 0; i < n; i++ {
+		mfgr := rng.Intn(5)
+		brand := mfgr*5 + rng.Intn(5) // 25 brands, correlated with mfgr
+		r.Rows = append(r.Rows, []int64{
+			int64(i + 1),
+			int64(rng.Intn(10000)),
+			int64(mfgr),
+			int64(brand),
+			int64(rng.Intn(150)), // 150 type strings in TPC-H
+			int64(1 + rng.Intn(50)),
+			int64(rng.Intn(40)),
+			int64(90000 + rng.Intn(100000)), // ~$900-$1900 in cents
+			int64(rng.Intn(10000)),
+		})
+	}
+	return r
+}
+
+func genPartsupp(rng *rand.Rand, nParts int) *Relation {
+	r := &Relation{Name: "partsupp", ColNames: []string{"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"}}
+	for p := 1; p <= nParts; p++ {
+		for s := 0; s < 4; s++ { // 4 suppliers per part, as in TPC-H
+			r.Rows = append(r.Rows, []int64{
+				int64(p),
+				int64(rng.Intn(1<<20))%int64(maxInt(1, nPartsuppSuppliers(nParts))) + 1,
+				int64(1 + rng.Intn(9999)),
+				int64(100 + rng.Intn(100000)),
+				int64(rng.Intn(10000)),
+			})
+		}
+	}
+	return r
+}
+
+func nPartsuppSuppliers(nParts int) int {
+	// Suppliers scale at 1/20th of parts in TPC-H.
+	n := nParts / 20
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// genOrdersLineitem builds correlated orders and lineitem tables. Dates span
+// 1992-01-01 .. 1998-08-02 as in TPC-H; each order has 1-7 line items.
+func genOrdersLineitem(rng *rand.Rand, nOrders, nCust, nParts, nSupp int) (*Relation, *Relation) {
+	orders := &Relation{Name: "orders", ColNames: []string{"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority", "o_comment"}}
+	items := &Relation{Name: "lineitem", ColNames: []string{
+		"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+		"l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"}}
+
+	startDate := dateToInt(1992, 1, 1)
+	cutoff := dateToInt(1995, 6, 17) // orders after this are still "open"
+	for o := 1; o <= nOrders; o++ {
+		odate := addDays(startDate, rng.Intn(2370)) // ~6.5 years
+		nLines := 1 + rng.Intn(7)
+		var total int64
+		status := int64(2) // P
+		allF, allO := true, true
+		for l := 1; l <= nLines; l++ {
+			ship := addDays(odate, 1+rng.Intn(121))
+			commit := addDays(odate, 30+rng.Intn(60))
+			receipt := addDays(ship, 1+rng.Intn(30))
+			qty := int64(1 + rng.Intn(50))
+			price := int64(90000+rng.Intn(100000)) * qty / 10 // cents
+			disc := int64(rng.Intn(11)) * 100                 // 0-10% in bp
+			tax := int64(rng.Intn(9)) * 100
+			var flag, lstatus int64
+			if ship > cutoff {
+				flag = FlagN
+				lstatus = StatusO
+				allF = false
+			} else {
+				lstatus = StatusF
+				allO = false
+				if rng.Intn(2) == 0 {
+					flag = FlagR
+				} else {
+					flag = FlagA
+				}
+			}
+			items.Rows = append(items.Rows, []int64{
+				int64(o),
+				int64(1 + rng.Intn(nParts)),
+				int64(1 + rng.Intn(nSupp)),
+				int64(l),
+				qty,
+				price,
+				disc,
+				tax,
+				flag,
+				lstatus,
+				ship,
+				commit,
+				receipt,
+				int64(rng.Intn(4)),
+				int64(rng.Intn(numShipModes)),
+				int64(rng.Intn(10000)),
+			})
+			total += price
+		}
+		if allF {
+			status = 0
+		} else if allO {
+			status = 1
+		}
+		orders.Rows = append(orders.Rows, []int64{
+			int64(o),
+			int64(1 + rng.Intn(nCust)),
+			status,
+			total,
+			odate,
+			int64(rng.Intn(5)),
+			int64(rng.Intn(1000)),
+			0,
+			int64(rng.Intn(10000)),
+		})
+	}
+	return orders, items
+}
+
+// CSVBytes serializes a relation as the '|'-delimited, newline-terminated
+// all-integer CSV the PSF offload kernel parses — the flat on-flash format
+// of the evaluation datasets.
+func CSVBytes(r *Relation) []byte {
+	var buf bytes.Buffer
+	var scratch []byte
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if i > 0 {
+				buf.WriteByte('|')
+			}
+			scratch = strconv.AppendInt(scratch[:0], v, 10)
+			buf.Write(scratch)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// RowOffsets returns the byte offset of each row start in the CSV encoding
+// (plus the final end offset), used for record-aligned task decomposition.
+func RowOffsets(csv []byte) []int64 {
+	offs := []int64{0}
+	for i, c := range csv {
+		if c == '\n' {
+			offs = append(offs, int64(i+1))
+		}
+	}
+	return offs
+}

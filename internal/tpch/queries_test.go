@@ -1,0 +1,139 @@
+package tpch
+
+import "testing"
+
+// Cross-validation properties: query results checked against direct
+// computations over the base tables (not against pinned goldens, so the
+// checks survive generator changes).
+
+func TestQ1SumsMatchDirect(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(1)
+	res := q.Body(NewExec(ds), q.ScanRelation(ds))
+	// Direct per-(flag,status) quantity sums.
+	direct := map[[2]int64]int64{}
+	for _, r := range ds.Lineitem.Rows {
+		if r[LShipDate] <= 19980802 {
+			direct[[2]int64{r[LReturnFlag], r[LLineStatus]}] += r[LQuantity]
+		}
+	}
+	if len(res.Rows) != len(direct) {
+		t.Fatalf("groups %d, want %d", len(res.Rows), len(direct))
+	}
+	for _, row := range res.Rows {
+		if got, want := row[2], direct[[2]int64{row[0], row[1]}]; got != want {
+			t.Fatalf("group (%d,%d) qty sum %d, want %d", row[0], row[1], got, want)
+		}
+	}
+}
+
+func TestQ3TopOrdersAreDescending(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(3)
+	res := q.Body(NewExec(ds), q.ScanRelation(ds))
+	if res.NumRows() > 10 {
+		t.Fatalf("limit 10 violated: %d", res.NumRows())
+	}
+	for i := 1; i < res.NumRows(); i++ {
+		if res.Rows[i][3] > res.Rows[i-1][3] {
+			t.Fatal("revenue not descending")
+		}
+	}
+}
+
+func TestQ4CountsBoundedByOrders(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(4)
+	res := q.Body(NewExec(ds), q.ScanRelation(ds))
+	var total int64
+	for _, r := range res.Rows {
+		if r[1] < 0 {
+			t.Fatal("negative count")
+		}
+		total += r[1]
+	}
+	if total > int64(ds.Orders.NumRows()) {
+		t.Fatalf("counted %d late orders of %d total", total, ds.Orders.NumRows())
+	}
+}
+
+func TestQ15TopSupplierIsMaximal(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(15)
+	scan := q.ScanRelation(ds)
+	res := q.Body(NewExec(ds), scan)
+	if res.NumRows() == 0 {
+		t.Skip("no revenue in window at this scale")
+	}
+	top := res.Rows[0][1]
+	// No supplier in the scan window may exceed the reported maximum.
+	bySupp := map[int64]int64{}
+	for _, r := range scan.Rows {
+		bySupp[r[0]] += revenue(r[1], r[2])
+	}
+	for s, rev := range bySupp {
+		if rev > top {
+			t.Fatalf("supplier %d revenue %d exceeds reported max %d", s, rev, top)
+		}
+	}
+}
+
+func TestQ18ThresholdRespected(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(18)
+	res := q.Body(NewExec(ds), q.ScanRelation(ds))
+	for _, r := range res.Rows {
+		if r[4] <= 250 {
+			t.Fatalf("order %d with qty %d below threshold in results", r[1], r[4])
+		}
+	}
+	// Every reported order really has that total quantity.
+	sums := map[int64]int64{}
+	for _, li := range ds.Lineitem.Rows {
+		sums[li[LOrderKey]] += li[LQuantity]
+	}
+	for _, r := range res.Rows {
+		if sums[r[1]] != r[4] {
+			t.Fatalf("order %d qty %d, direct %d", r[1], r[4], sums[r[1]])
+		}
+	}
+}
+
+func TestQ22RichCustomersHaveNoOrders(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(22)
+	res := q.Body(NewExec(ds), q.ScanRelation(ds))
+	var n int64
+	for _, r := range res.Rows {
+		n += r[1]
+	}
+	// The counted customers are a subset of all customers.
+	if n > int64(ds.Customer.NumRows()) {
+		t.Fatalf("%d customers counted of %d", n, ds.Customer.NumRows())
+	}
+}
+
+func TestQ14ShareWithinBounds(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(14)
+	res := q.Body(NewExec(ds), q.ScanRelation(ds))
+	share := res.Rows[0][0]
+	if share < 0 || share > 10000 {
+		t.Fatalf("promo share %d outside [0,10000] basis points", share)
+	}
+	if res.Rows[0][1] > res.Rows[0][2] {
+		t.Fatal("promo revenue exceeds total revenue")
+	}
+}
+
+func TestOffloadSpecsAreConsistent(t *testing.T) {
+	// Every query's PSF spec must build for both lowerings and its
+	// predicates must reference projected columns of the right table arity.
+	ds := testDS(t)
+	for _, q := range Queries() {
+		cols := ds.Tables()[q.Table].NumCols()
+		if q.PSF.NumFields != cols {
+			t.Errorf("Q%d: PSF fields %d, table %s has %d", q.ID, q.PSF.NumFields, q.Table, cols)
+		}
+	}
+}

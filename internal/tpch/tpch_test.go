@@ -1,0 +1,292 @@
+package tpch
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testDS(t *testing.T) *Dataset {
+	t.Helper()
+	return Generate(0.002)
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.002)
+	b := Generate(0.002)
+	if a.Lineitem.NumRows() != b.Lineitem.NumRows() {
+		t.Fatal("non-deterministic row counts")
+	}
+	for i := range a.Lineitem.Rows {
+		for j := range a.Lineitem.Rows[i] {
+			if a.Lineitem.Rows[i][j] != b.Lineitem.Rows[i][j] {
+				t.Fatalf("non-deterministic cell [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds := testDS(t)
+	if ds.Region.NumRows() != 5 || ds.Nation.NumRows() != 25 {
+		t.Error("dimension tables wrong size")
+	}
+	if ds.Lineitem.NumRows() < ds.Orders.NumRows() {
+		t.Error("lineitem smaller than orders")
+	}
+	if got := ds.Lineitem.NumCols(); got != LineitemCols {
+		t.Errorf("lineitem cols = %d, want %d", got, LineitemCols)
+	}
+	// Scaling monotone.
+	big := Generate(0.004)
+	if big.Lineitem.NumRows() <= ds.Lineitem.NumRows() {
+		t.Error("scale factor has no effect")
+	}
+}
+
+func TestGenerateIntegrity(t *testing.T) {
+	ds := testDS(t)
+	nOrders := int64(ds.Orders.NumRows())
+	nCust := int64(ds.Customer.NumRows())
+	for _, r := range ds.Orders.Rows {
+		if r[OCustKey] < 1 || r[OCustKey] > nCust {
+			t.Fatal("order with dangling custkey")
+		}
+	}
+	for _, r := range ds.Lineitem.Rows {
+		if r[LOrderKey] < 1 || r[LOrderKey] > nOrders {
+			t.Fatal("lineitem with dangling orderkey")
+		}
+		if r[LShipDate] < 19920101 || r[LShipDate] > 19990101 {
+			t.Fatalf("shipdate %d out of range", r[LShipDate])
+		}
+		if r[LDiscount] < 0 || r[LDiscount] > 1000 {
+			t.Fatalf("discount %d out of range", r[LDiscount])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := testDS(t)
+	csv := CSVBytes(ds.Lineitem)
+	if len(csv) == 0 || csv[len(csv)-1] != '\n' {
+		t.Fatal("CSV not newline terminated")
+	}
+	// Row offsets cover the file exactly.
+	offs := RowOffsets(csv)
+	if len(offs) != ds.Lineitem.NumRows()+1 {
+		t.Fatalf("offsets = %d, want rows+1 = %d", len(offs), ds.Lineitem.NumRows()+1)
+	}
+	if offs[len(offs)-1] != int64(len(csv)) {
+		t.Fatal("final offset != file size")
+	}
+	// All integer bytes.
+	for _, c := range csv {
+		if !(c >= '0' && c <= '9' || c == '|' || c == '\n') {
+			t.Fatalf("non-numeric CSV byte %q", c)
+		}
+	}
+}
+
+func TestEngineFilterProject(t *testing.T) {
+	e := NewExec(testDS(t))
+	r := &Relation{Rows: [][]int64{{1, 10}, {2, 20}, {3, 30}}}
+	f := e.Filter(r, func(row []int64) bool { return row[1] >= 20 })
+	if f.NumRows() != 2 {
+		t.Fatalf("filter rows = %d", f.NumRows())
+	}
+	p := e.Project(f, 1)
+	if p.Rows[0][0] != 20 || p.Rows[1][0] != 30 {
+		t.Fatal("project wrong")
+	}
+	if e.Work.ScanUnits == 0 {
+		t.Error("no scan work recorded")
+	}
+}
+
+func TestEngineHashJoin(t *testing.T) {
+	e := NewExec(testDS(t))
+	l := &Relation{Rows: [][]int64{{1, 100}, {2, 200}}}
+	r := &Relation{Rows: [][]int64{{10, 1}, {11, 1}, {12, 3}}}
+	j := e.HashJoin(l, r, 0, 1)
+	if j.NumRows() != 2 {
+		t.Fatalf("join rows = %d", j.NumRows())
+	}
+	if j.Rows[0][1] != 100 || j.Rows[0][2] != 10 {
+		t.Fatalf("join row = %v", j.Rows[0])
+	}
+}
+
+func TestEngineSemiAntiJoin(t *testing.T) {
+	e := NewExec(testDS(t))
+	l := &Relation{Rows: [][]int64{{1}, {3}}}
+	r := &Relation{Rows: [][]int64{{1, 0}, {2, 0}, {3, 0}, {4, 0}}}
+	if got := e.SemiJoin(l, 0, r, 0).NumRows(); got != 2 {
+		t.Fatalf("semi = %d", got)
+	}
+	if got := e.AntiJoin(l, 0, r, 0).NumRows(); got != 2 {
+		t.Fatalf("anti = %d", got)
+	}
+}
+
+func TestEngineGroupBy(t *testing.T) {
+	e := NewExec(testDS(t))
+	r := &Relation{Rows: [][]int64{{1, 10}, {1, 20}, {2, 5}}}
+	g := e.GroupBy(r,
+		func(row []int64) []int64 { return []int64{row[0]} },
+		[]AggSpec{
+			{Kind: AggSum, Value: func(row []int64) int64 { return row[1] }},
+			{Kind: AggCount},
+			{Kind: AggMin, Value: func(row []int64) int64 { return row[1] }},
+			{Kind: AggMax, Value: func(row []int64) int64 { return row[1] }},
+			{Kind: AggAvg, Value: func(row []int64) int64 { return row[1] }},
+		})
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	row := g.Rows[0] // group key 1 (insertion order)
+	want := []int64{1, 30, 2, 10, 20, 15}
+	for i, v := range want {
+		if row[i] != v {
+			t.Fatalf("group row = %v, want %v", row, want)
+		}
+	}
+}
+
+func TestEngineOrderByLimit(t *testing.T) {
+	e := NewExec(testDS(t))
+	r := &Relation{Rows: [][]int64{{3}, {1}, {2}}}
+	s := e.OrderBy(r, func(a, b []int64) bool { return a[0] < b[0] })
+	if s.Rows[0][0] != 1 || s.Rows[2][0] != 3 {
+		t.Fatal("sort wrong")
+	}
+	if e.Limit(s, 2).NumRows() != 2 {
+		t.Fatal("limit wrong")
+	}
+	// Original unchanged (OrderBy copies).
+	if r.Rows[0][0] != 3 {
+		t.Fatal("OrderBy mutated input")
+	}
+}
+
+func TestAllQueriesRun(t *testing.T) {
+	ds := testDS(t)
+	for _, q := range Queries() {
+		e := NewExec(ds)
+		scan := q.ScanRelation(ds)
+		res := q.Body(e, scan)
+		if res == nil {
+			t.Fatalf("Q%d returned nil", q.ID)
+		}
+		if e.Work.Total() <= 0 {
+			t.Errorf("Q%d recorded no work", q.ID)
+		}
+		t.Logf("Q%d %-24s scan=%6d rows -> %5d result rows, work=%.0f",
+			q.ID, q.Name, scan.NumRows(), res.NumRows(), e.Work.Total())
+	}
+}
+
+func TestQueriesSelectivityVaries(t *testing.T) {
+	ds := testDS(t)
+	li := ds.Lineitem.NumRows()
+	fullScan := 0
+	selective := 0
+	for _, q := range Queries() {
+		if q.Table != "lineitem" {
+			continue
+		}
+		n := q.ScanRelation(ds).NumRows()
+		if n == li {
+			fullScan++
+		} else if n < li*9/10 {
+			selective++
+		}
+	}
+	if selective < 4 {
+		t.Errorf("only %d selective lineitem scans; predicates not effective", selective)
+	}
+	if fullScan == 0 {
+		t.Error("expected some project-only scans")
+	}
+}
+
+func TestQ1Deterministic(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(1)
+	e1 := NewExec(ds)
+	r1 := q.Body(e1, q.ScanRelation(ds))
+	e2 := NewExec(ds)
+	r2 := q.Body(e2, q.ScanRelation(ds))
+	if r1.NumRows() != r2.NumRows() {
+		t.Fatal("q1 nondeterministic")
+	}
+	// Q1 groups by (flag, status): at most 3×2 groups, at least 3 (A/F,
+	// N/O, R/F all occur).
+	if r1.NumRows() < 3 || r1.NumRows() > 6 {
+		t.Fatalf("q1 groups = %d", r1.NumRows())
+	}
+}
+
+func TestQ6MatchesManual(t *testing.T) {
+	ds := testDS(t)
+	q, _ := QueryByID(6)
+	e := NewExec(ds)
+	res := q.Body(e, q.ScanRelation(ds))
+	var want int64
+	for _, r := range ds.Lineitem.Rows {
+		if r[LShipDate] >= 19940101 && r[LShipDate] <= 19941231 &&
+			r[LDiscount] >= 500 && r[LDiscount] <= 700 && r[LQuantity] < 24 {
+			want += r[LExtendedPrice] * r[LDiscount] / 10000
+		}
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1] != want {
+		t.Fatalf("q6 = %v, want %d", res.Rows, want)
+	}
+}
+
+func TestQueryByID(t *testing.T) {
+	if _, err := QueryByID(0); err == nil {
+		t.Error("q0 accepted")
+	}
+	if _, err := QueryByID(23); err == nil {
+		t.Error("q23 accepted")
+	}
+	q, err := QueryByID(22)
+	if err != nil || q.ID != 22 {
+		t.Error("q22 lookup failed")
+	}
+}
+
+func TestScanRelationMatchesPSFReference(t *testing.T) {
+	// The host-side ScanRelation and the PSF kernel reference must agree:
+	// same rows, same order, same projection.
+	ds := testDS(t)
+	for _, q := range Queries() {
+		if q.Table != "lineitem" {
+			continue
+		}
+		csv := CSVBytes(ds.Lineitem)
+		out, err := q.PSF.Reference([][]byte{csv})
+		if err != nil {
+			t.Fatalf("Q%d: %v", q.ID, err)
+		}
+		rel := q.ScanRelation(ds)
+		nCols := len(q.PSF.Project)
+		if len(out[0]) != rel.NumRows()*4*nCols {
+			t.Fatalf("Q%d: PSF bytes %d != scan %d rows × %d cols", q.ID, len(out[0]), rel.NumRows(), nCols)
+		}
+		// Spot-check first and last rows.
+		if rel.NumRows() > 0 {
+			for _, ri := range []int{0, rel.NumRows() - 1} {
+				for c := 0; c < nCols; c++ {
+					off := (ri*nCols + c) * 4
+					got := uint32(out[0][off]) | uint32(out[0][off+1])<<8 | uint32(out[0][off+2])<<16 | uint32(out[0][off+3])<<24
+					if int64(got) != rel.Rows[ri][c] {
+						t.Fatalf("Q%d row %d col %d: PSF %d != scan %d", q.ID, ri, c, got, rel.Rows[ri][c])
+					}
+				}
+			}
+		}
+		break // one lineitem query suffices for the byte-level check
+	}
+	_ = bytes.MinRead
+}
