@@ -8,29 +8,39 @@
 //	assasin-bench -exp fig13          # one artifact
 //	assasin-bench -exp fig15 -sf 0.01 # bigger TPC-H dataset
 //	assasin-bench -quick -verify      # fast run with functional checks
+//	assasin-bench -parallel 1         # force sequential simulation runs
+//	assasin-bench -json out/          # also write BENCH_<exp>.json files
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"assasin/internal/experiments"
-	"assasin/internal/ssd"
+	"assasin/internal/runpool"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, table2, table4, fig5, fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, fig21, table5, fig22, ablation")
-		quick  = flag.Bool("quick", false, "use the small test-scale configuration")
-		verify = flag.Bool("verify", false, "cross-check offload outputs against reference implementations")
-		cores  = flag.Int("cores", 0, "override compute engine count")
-		sf     = flag.Float64("sf", 0, "override TPC-H scale factor")
-		mb     = flag.Float64("mb", 0, "override standalone kernel input MB")
+		exp      = flag.String("exp", "all", "comma-separated experiments: all, "+strings.Join(experiments.ExperimentIDs(), ", "))
+		quick    = flag.Bool("quick", false, "use the small test-scale configuration")
+		verify   = flag.Bool("verify", false, "cross-check offload outputs against reference implementations")
+		cores    = flag.Int("cores", 0, "override compute engine count")
+		sf       = flag.Float64("sf", 0, "override TPC-H scale factor")
+		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
+		parallel = flag.Int("parallel", runpool.DefaultWorkers(), "max concurrent simulation runs (1 = sequential; results are identical)")
+		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
 	)
 	flag.Parse()
+
+	if err := experiments.ValidateOverrides(*cores, *parallel, *sf, *mb); err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Default()
 	if *quick {
@@ -48,19 +58,66 @@ func main() {
 	if *mb > 0 {
 		cfg.KernelMB = *mb
 	}
+	cfg.Workers = *parallel
 
 	names := strings.Split(*exp, ",")
-	if *exp == "all" {
-		names = []string{"table2", "table4", "fig5", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table5", "fig22", "ablation"}
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
 	}
+	if *exp == "all" {
+		names = experiments.ExperimentIDs()
+	} else if err := experiments.ValidateNames(names); err != nil {
+		fatal(err)
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
 	for _, name := range names {
 		start := time.Now()
-		if err := run(strings.TrimSpace(name), cfg); err != nil {
+		rows, text, err := run(name, cfg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", name, time.Since(start).Seconds())
+		fmt.Print(text)
+		wall := time.Since(start).Seconds()
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, name, cfg, rows, wall); err != nil {
+				fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", name, wall)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "assasin-bench: %v\n", err)
+	os.Exit(2)
+}
+
+// benchEnvelope is the schema of a BENCH_<exp>.json file.
+type benchEnvelope struct {
+	Experiment  string             `json:"experiment"`
+	Config      experiments.Config `json:"config"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Rows        any                `json:"rows"`
+}
+
+func writeJSON(dir, name string, cfg experiments.Config, rows any, wall float64) error {
+	b, err := json.MarshalIndent(benchEnvelope{
+		Experiment:  name,
+		Config:      cfg,
+		WallSeconds: wall,
+		Rows:        rows,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(b, '\n'), 0o644)
 }
 
 // cached cross-experiment results (fig16 feeds fig17/fig18; fig21 feeds
@@ -92,100 +149,110 @@ func fig21Rows(cfg experiments.Config) ([]experiments.Fig13Row, error) {
 	return r, err
 }
 
-func run(name string, cfg experiments.Config) error {
+// run executes one experiment and returns its structured rows (for -json)
+// and rendered text.
+func run(name string, cfg experiments.Config) (any, string, error) {
 	switch name {
 	case "table2":
 		rows, err := experiments.Table2(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatTable2(rows))
+		return rows, experiments.FormatTable2(rows), nil
 	case "ablation":
 		wrows, err := experiments.AblationWindow(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatAblationWindow(wrows))
 		drows, err := experiments.AblationDRAM(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatAblationDRAM(drows))
 		m, err := experiments.MixedIO(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatMixedIO(m))
+		rows := struct {
+			Window []experiments.AblationWindowRow `json:"window"`
+			DRAM   []experiments.AblationDRAMRow   `json:"dram"`
+			Mixed  *experiments.MixedIOResult      `json:"mixed_io"`
+		}{wrows, drows, m}
+		text := experiments.FormatAblationWindow(wrows) +
+			experiments.FormatAblationDRAM(drows) +
+			experiments.FormatMixedIO(m)
+		return rows, text, nil
 	case "table4":
-		fmt.Print(experiments.Table4(cfg))
+		t := experiments.Table4(cfg)
+		return t, t, nil
 	case "fig5":
 		r, err := experiments.Fig5(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig5(r))
+		return r, experiments.FormatFig5(r), nil
 	case "fig13":
 		rows, err := experiments.Fig13(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig13("Fig 13", rows))
+		return rows, experiments.FormatFig13("Fig 13", rows), nil
 	case "fig14":
 		rows, err := experiments.Fig14(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig14("Fig 14", rows))
+		return rows, experiments.FormatFig14("Fig 14", rows), nil
 	case "fig15":
 		rows, err := experiments.Fig15(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig15(rows))
+		return rows, experiments.FormatFig15(rows), nil
 	case "fig16":
 		p, err := fig16Points(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig16(p))
+		return p, experiments.FormatFig16(p), nil
 	case "fig17":
 		p, err := fig16Points(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig17(p))
+		return p, experiments.FormatFig17(p), nil
 	case "fig18":
 		p, err := fig16Points(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig18(p))
+		return p, experiments.FormatFig18(p), nil
 	case "fig19":
 		p, err := experiments.Fig19(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig19(p))
+		return p, experiments.FormatFig19(p), nil
 	case "fig20":
-		fmt.Print(experiments.FormatFig20(experiments.Fig20()))
+		r := experiments.Fig20()
+		return r, experiments.FormatFig20(r), nil
 	case "fig21":
 		rows, err := fig21Rows(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
-		fmt.Print(experiments.FormatFig13("Fig 21 (timing-adjusted)", rows))
+		return rows, experiments.FormatFig13("Fig 21 (timing-adjusted)", rows), nil
 	case "table5":
-		fmt.Print(experiments.FormatTable5(cfg.Cores))
+		t := experiments.FormatTable5(cfg.Cores)
+		return t, t, nil
 	case "fig22":
 		rows, err := fig21Rows(cfg)
 		if err != nil {
-			return err
+			return nil, "", err
 		}
 		speedups := experiments.SpeedupSummary(rows)
-		fmt.Print(experiments.FormatFig22(experiments.Fig22(speedups, cfg.Cores)))
+		r := experiments.Fig22(speedups, cfg.Cores)
+		return r, experiments.FormatFig22(r), nil
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		return nil, "", fmt.Errorf("unknown experiment %q", name)
 	}
-	_ = ssd.Baseline
-	return nil
 }

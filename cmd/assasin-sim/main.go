@@ -33,6 +33,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *mb < 0 {
+		fail(fmt.Errorf("-mb must be >= 0, got %g", *mb))
+	}
+	if *cores < 0 {
+		fail(fmt.Errorf("-cores must be >= 0, got %d", *cores))
+	}
 	arch, err := parseArch(*archName)
 	if err != nil {
 		fail(err)
@@ -92,12 +98,14 @@ func main() {
 }
 
 func parseArch(name string) (ssd.Arch, error) {
+	var valid []string
 	for _, a := range ssd.AllArchs() {
 		if strings.EqualFold(a.String(), name) {
 			return a, nil
 		}
+		valid = append(valid, a.String())
 	}
-	return 0, fmt.Errorf("unknown architecture %q", name)
+	return 0, fmt.Errorf("unknown architecture %q (valid: %s)", name, strings.Join(valid, ", "))
 }
 
 func pickKernel(name string) (kernels.Kernel, int, int, firmware.OutKind, error) {

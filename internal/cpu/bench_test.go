@@ -32,6 +32,32 @@ func BenchmarkInterpreterALU(b *testing.B) {
 	b.ReportMetric(float64(c.Stats().Instructions)/float64(b.Elapsed().Seconds())/1e6, "Minstr/s")
 }
 
+// BenchmarkCoreStepALU measures the per-instruction dispatch cost of the
+// interpreter's hot loop (one op per iteration, allocation-free).
+func BenchmarkCoreStepALU(b *testing.B) {
+	bb := asm.New()
+	loop := bb.Here()
+	bb.Addi(asm.T0, asm.T0, 1)
+	bb.Xor(asm.T2, asm.T2, asm.T0)
+	bb.Slli(asm.T3, asm.T0, 3)
+	bb.Add(asm.T2, asm.T2, asm.T3)
+	bb.J(loop)
+	prog := bb.MustBuild()
+	cfg := DefaultConfig("bench")
+	cfg.BranchFree = true // keep the loop pure dispatch: no flush cycles
+	cfg.MaxInstructions = 1 << 62
+	c := New(cfg, newTestSystem())
+	c.LoadProgram(prog)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for c.Stats().Instructions < int64(b.N) {
+		c.Run(c.LocalTime() + 100*sim.Microsecond)
+	}
+	if c.Err() != nil {
+		b.Fatal(c.Err())
+	}
+}
+
 // BenchmarkStreamLoadPath measures the stream-ISA fast path end to end.
 func BenchmarkStreamLoadPath(b *testing.B) {
 	bb := asm.New()

@@ -103,17 +103,42 @@ func (s *Stats) TotalTime() sim.Time {
 	return t
 }
 
+// decoded is the load-time unpacked form of one instruction. Dispatch
+// metadata the interpreter would otherwise recompute on every step — the
+// timing class, load/store width and sign extension, the immediate in its
+// unsigned reinterpretation — is resolved once per program load, keeping the
+// per-instruction hot path to a class switch over flat fields.
+type decoded struct {
+	op     isa.Op
+	class  isa.Class
+	rd     uint8
+	rs1    uint8
+	rs2    uint8
+	stream uint8
+	width  uint8
+	size   uint8 // load/store access bytes
+	signed bool  // sign-extending load
+	imm    int32
+	uimm   uint32 // imm reinterpreted as uint32 (ALU immediates)
+}
+
 // Core is one simulated compute engine.
 type Core struct {
-	cfg  Config
-	sys  *memhier.System
-	prog []isa.Inst
+	cfg     Config
+	sys     *memhier.System
+	dec     []decoded
+	decFrom *asm.Program // program the decode cache was built from
 
 	regs   [isa.NumRegs]uint32
 	pc     int
 	at     sim.Time
 	halted bool
 	err    error
+
+	// Branch/jump cycle counts resolved from the config once.
+	takenCycles    int
+	notTakenCycles int
+	jumpCycles     int
 
 	blocked      bool
 	blockKind    StallKind
@@ -138,14 +163,56 @@ func New(cfg Config, sys *memhier.System) *Core {
 	if max <= 0 {
 		max = 20_000_000_000
 	}
-	return &Core{cfg: cfg, sys: sys, maxInsts: max}
+	c := &Core{cfg: cfg, sys: sys, maxInsts: max}
+	if cfg.BranchFree {
+		// UDP multiway dispatch folds taken control flow into the preceding
+		// operation; fall-through still occupies the dispatch slot.
+		c.takenCycles = 0
+		c.notTakenCycles = 1
+		c.jumpCycles = 0
+	} else {
+		c.takenCycles = 1 + cfg.BranchTakenPenalty
+		c.notTakenCycles = 1
+		c.jumpCycles = 1 + cfg.BranchTakenPenalty
+	}
+	return c
+}
+
+// decode unpacks one instruction into its flat dispatch form.
+func decode(in isa.Inst) decoded {
+	d := decoded{
+		op:     in.Op,
+		class:  in.Op.Class(),
+		rd:     in.Rd,
+		rs1:    in.Rs1,
+		rs2:    in.Rs2,
+		stream: in.Stream,
+		width:  in.Width,
+		imm:    in.Imm,
+		uimm:   uint32(in.Imm),
+	}
+	switch d.class {
+	case isa.ClassLoad:
+		size, signed := loadSize(in.Op)
+		d.size = uint8(size)
+		d.signed = signed
+	case isa.ClassStore:
+		d.size = uint8(storeSize(in.Op))
+	}
+	return d
 }
 
 // LoadProgram installs the kernel and resets architectural state. The local
 // clock is preserved (the firmware resets PC and pipeline between requests,
-// not time).
+// not time). Reloading the same program reuses the decoded form.
 func (c *Core) LoadProgram(p *asm.Program) {
-	c.prog = p.Insts
+	if c.decFrom != p {
+		c.dec = make([]decoded, len(p.Insts))
+		for i, in := range p.Insts {
+			c.dec[i] = decode(in)
+		}
+		c.decFrom = p
+	}
 	c.pc = 0
 	c.halted = false
 	c.err = nil
@@ -207,15 +274,15 @@ func (c *Core) Run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 		c.wakeAt = sim.MaxTime
 	}
 	for c.at <= limit {
-		if c.pc < 0 || c.pc >= len(c.prog) {
-			c.fail(fmt.Errorf("cpu %s: pc %d out of program (len %d)", c.cfg.Name, c.pc, len(c.prog)))
+		if c.pc < 0 || c.pc >= len(c.dec) {
+			c.fail(fmt.Errorf("cpu %s: pc %d out of program (len %d)", c.cfg.Name, c.pc, len(c.dec)))
 			return c.at, sim.StateDone, 0
 		}
 		if c.stats.Instructions >= c.maxInsts {
 			c.fail(fmt.Errorf("cpu %s: instruction budget %d exceeded", c.cfg.Name, c.maxInsts))
 			return c.at, sim.StateDone, 0
 		}
-		in := &c.prog[c.pc]
+		in := &c.dec[c.pc]
 		blocked := c.step(in, period)
 		if blocked {
 			if !c.blocked {
@@ -279,28 +346,28 @@ func (c *Core) setReg(r uint8, v uint32) {
 // step executes one instruction. It returns true when the instruction
 // cannot complete yet (stream empty / output full); the core retries it
 // after a wake.
-func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
+func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 	t0 := c.at
-	cl := in.Op.Class()
+	cl := in.class
 	switch cl {
 	case isa.ClassALU:
-		c.setReg(in.Rd, c.alu(in))
+		c.setReg(in.rd, c.alu(in))
 		c.pc++
 		c.retireCycles(t0, 1)
 
 	case isa.ClassMul:
-		c.setReg(in.Rd, c.mul(in))
+		c.setReg(in.rd, c.mul(in))
 		c.pc++
 		c.retireCycles(t0, c.cfg.MulCycles)
 
 	case isa.ClassDiv:
-		c.setReg(in.Rd, c.div(in))
+		c.setReg(in.rd, c.div(in))
 		c.pc++
 		c.retireCycles(t0, c.cfg.DivCycles)
 
 	case isa.ClassLoad:
-		addr := c.regs[in.Rs1] + uint32(in.Imm)
-		size, signed := loadSize(in.Op)
+		addr := c.regs[in.rs1] + in.uimm
+		size := int(in.size)
 		r, err := c.sys.Load(t0, addr, size, uint32(c.pc))
 		if err != nil {
 			c.fail(err)
@@ -311,18 +378,18 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 			return true
 		}
 		v := r.Value
-		if signed {
+		if in.signed {
 			v = signExtendVal(v, size)
 		}
-		c.setReg(in.Rd, v)
+		c.setReg(in.rd, v)
 		c.stats.LoadBytes += int64(size)
 		c.pc++
 		c.retire(t0, r.Done, c.loadStallKind(addr))
 
 	case isa.ClassStore:
-		addr := c.regs[in.Rs1] + uint32(in.Imm)
-		size := storeSize(in.Op)
-		r, err := c.sys.Store(t0, addr, size, c.regs[in.Rs2], uint32(c.pc))
+		addr := c.regs[in.rs1] + in.uimm
+		size := int(in.size)
+		r, err := c.sys.Store(t0, addr, size, c.regs[in.rs2], uint32(c.pc))
 		if err != nil {
 			c.fail(err)
 			return false
@@ -337,21 +404,13 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 
 	case isa.ClassBranch:
 		taken := c.branch(in)
-		cycles := 1
-		switch {
-		case c.cfg.BranchFree && taken:
-			// UDP multiway dispatch folds taken control flow into the
-			// preceding operation: no issue slot, no flush.
-			cycles = 0
-		case c.cfg.BranchFree:
-			cycles = 1 // fall-through still occupies the dispatch slot
-		case taken:
-			cycles = 1 + c.cfg.BranchTakenPenalty
-		}
+		var cycles int
 		if taken {
-			c.pc += int(in.Imm)
+			c.pc += int(in.imm)
+			cycles = c.takenCycles
 		} else {
 			c.pc++
+			cycles = c.notTakenCycles
 		}
 		if cycles > 0 {
 			c.retireCycles(t0, cycles)
@@ -359,27 +418,23 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 
 	case isa.ClassJump:
 		link := uint32(c.pc + 1)
-		if in.Op == isa.OpJal {
-			c.pc += int(in.Imm)
+		if in.op == isa.OpJal {
+			c.pc += int(in.imm)
 		} else { // jalr: absolute instruction index
-			c.pc = int(c.regs[in.Rs1] + uint32(in.Imm))
+			c.pc = int(c.regs[in.rs1] + in.uimm)
 		}
-		c.setReg(in.Rd, link)
-		cycles := 1 + c.cfg.BranchTakenPenalty
-		if c.cfg.BranchFree {
-			cycles = 0 // dispatch-folded jump
-		}
-		if cycles > 0 {
-			c.retireCycles(t0, cycles)
+		c.setReg(in.rd, link)
+		if c.jumpCycles > 0 {
+			c.retireCycles(t0, c.jumpCycles)
 		}
 
 	case isa.ClassStreamLoad:
 		var r memhier.AccessResult
 		var err error
-		if in.Op == isa.OpStreamLoad {
-			r, err = c.sys.StreamLoad(t0, int(in.Stream), int(in.Width))
+		if in.op == isa.OpStreamLoad {
+			r, err = c.sys.StreamLoad(t0, int(in.stream), int(in.width))
 		} else {
-			r, err = c.sys.StreamPeek(t0, int(in.Stream), int(in.Width), int64(in.Imm))
+			r, err = c.sys.StreamPeek(t0, int(in.stream), int(in.width), int64(in.imm))
 		}
 		if err != nil {
 			c.fail(err)
@@ -396,15 +451,15 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 			c.at = t0 + period
 			return false
 		}
-		c.setReg(in.Rd, r.Value)
-		if in.Op == isa.OpStreamLoad {
-			c.stats.StreamInBytes += int64(in.Width)
+		c.setReg(in.rd, r.Value)
+		if in.op == isa.OpStreamLoad {
+			c.stats.StreamInBytes += int64(in.width)
 		}
 		c.pc++
 		c.retire(t0, r.Done, StallStreamWait)
 
 	case isa.ClassStreamStore:
-		r, err := c.sys.StreamStore(t0, int(in.Stream), int(in.Width), c.regs[in.Rs2])
+		r, err := c.sys.StreamStore(t0, int(in.stream), int(in.width), c.regs[in.rs2])
 		if err != nil {
 			c.fail(err)
 			return false
@@ -413,15 +468,15 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 			c.blockKind = StallOutFull
 			return true
 		}
-		c.stats.StreamOutBytes += int64(in.Width)
+		c.stats.StreamOutBytes += int64(in.width)
 		c.pc++
 		c.retire(t0, r.Done, StallOutFull)
 
 	case isa.ClassStreamCtl:
-		switch in.Op {
+		switch in.op {
 		case isa.OpStreamAdv:
-			amount := int64(in.Imm) * int64(in.Width)
-			r, err := c.sys.StreamAdv(t0, int(in.Stream), amount)
+			amount := int64(in.imm) * int64(in.width)
+			r, err := c.sys.StreamAdv(t0, int(in.stream), amount)
 			if err != nil {
 				c.fail(err)
 				return false
@@ -431,19 +486,19 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 				return true
 			}
 		case isa.OpStreamEnd:
-			v, err := c.sys.StreamEnd(int(in.Stream))
+			v, err := c.sys.StreamEnd(int(in.stream))
 			if err != nil {
 				c.fail(err)
 				return false
 			}
-			c.setReg(in.Rd, v)
+			c.setReg(in.rd, v)
 		case isa.OpStreamCsrR:
-			v, err := c.sys.StreamCsr(int(in.Stream), in.Imm)
+			v, err := c.sys.StreamCsr(int(in.stream), in.imm)
 			if err != nil {
 				c.fail(err)
 				return false
 			}
-			c.setReg(in.Rd, v)
+			c.setReg(in.rd, v)
 		}
 		c.pc++
 		c.retireCycles(t0, 1)
@@ -454,7 +509,7 @@ func (c *Core) step(in *isa.Inst, period sim.Time) (blocked bool) {
 		c.stats.BusyTime += period
 
 	default:
-		c.fail(fmt.Errorf("cpu %s: unknown class for %v", c.cfg.Name, in.Op))
+		c.fail(fmt.Errorf("cpu %s: unknown class for %v", c.cfg.Name, in.op))
 		return false
 	}
 	c.stats.Instructions++
@@ -475,11 +530,11 @@ func (c *Core) loadStallKind(addr uint32) StallKind {
 	return StallMem
 }
 
-func (c *Core) alu(in *isa.Inst) uint32 {
-	a := c.regs[in.Rs1]
-	b := c.regs[in.Rs2]
-	imm := uint32(in.Imm)
-	switch in.Op {
+func (c *Core) alu(in *decoded) uint32 {
+	a := c.regs[in.rs1]
+	b := c.regs[in.rs2]
+	imm := in.uimm
+	switch in.op {
 	case isa.OpAdd:
 		return a + b
 	case isa.OpSub:
@@ -521,7 +576,7 @@ func (c *Core) alu(in *isa.Inst) uint32 {
 	case isa.OpSrai:
 		return uint32(int32(a) >> (imm & 31))
 	case isa.OpSlti:
-		if int32(a) < in.Imm {
+		if int32(a) < in.imm {
 			return 1
 		}
 		return 0
@@ -537,10 +592,10 @@ func (c *Core) alu(in *isa.Inst) uint32 {
 	}
 }
 
-func (c *Core) mul(in *isa.Inst) uint32 {
-	a := c.regs[in.Rs1]
-	b := c.regs[in.Rs2]
-	switch in.Op {
+func (c *Core) mul(in *decoded) uint32 {
+	a := c.regs[in.rs1]
+	b := c.regs[in.rs2]
+	switch in.op {
 	case isa.OpMul:
 		return a * b
 	case isa.OpMulh:
@@ -552,10 +607,10 @@ func (c *Core) mul(in *isa.Inst) uint32 {
 	}
 }
 
-func (c *Core) div(in *isa.Inst) uint32 {
-	a := c.regs[in.Rs1]
-	b := c.regs[in.Rs2]
-	switch in.Op {
+func (c *Core) div(in *decoded) uint32 {
+	a := c.regs[in.rs1]
+	b := c.regs[in.rs2]
+	switch in.op {
 	case isa.OpDiv:
 		if b == 0 {
 			return ^uint32(0) // RISC-V: div by zero = -1
@@ -587,10 +642,10 @@ func (c *Core) div(in *isa.Inst) uint32 {
 	}
 }
 
-func (c *Core) branch(in *isa.Inst) bool {
-	a := c.regs[in.Rs1]
-	b := c.regs[in.Rs2]
-	switch in.Op {
+func (c *Core) branch(in *decoded) bool {
+	a := c.regs[in.rs1]
+	b := c.regs[in.rs2]
+	switch in.op {
 	case isa.OpBeq:
 		return a == b
 	case isa.OpBne:

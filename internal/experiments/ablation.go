@@ -8,6 +8,7 @@ import (
 	"assasin/internal/kernels"
 	"assasin/internal/memhier"
 	"assasin/internal/nvme"
+	"assasin/internal/runpool"
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
 )
@@ -29,8 +30,9 @@ type AblationWindowRow struct {
 // small stream buffers.
 func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 	data := randData(int(cfg.ScanMB*(1<<20)), 31)
-	var rows []AblationWindowRow
-	for _, p := range []int{1, 2, 4, 8, 16} {
+	depths := []int{1, 2, 4, 8, 16}
+	return runpool.Map(cfg.workers(), len(depths), func(i int) (AblationWindowRow, error) {
+		p := depths[i]
 		r, err := runStandalone(runOpts{
 			arch:        ssd.AssasinSb,
 			cores:       cfg.Cores,
@@ -41,11 +43,10 @@ func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 			windowPages: p,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("window %d: %w", p, err)
+			return AblationWindowRow{}, fmt.Errorf("window %d: %w", p, err)
 		}
-		rows = append(rows, AblationWindowRow{WindowPages: p, Throughput: r.throughput()})
-	}
-	return rows, nil
+		return AblationWindowRow{WindowPages: p, Throughput: r.throughput()}, nil
+	})
 }
 
 // FormatAblationWindow renders the sweep.
@@ -71,37 +72,43 @@ type AblationDRAMRow struct {
 // the paper's "little to none memory bandwidth requirement".
 func AblationDRAM(cfg Config) ([]AblationDRAMRow, error) {
 	data := randData(int(cfg.KernelMB*(1<<20)), 32)
-	var rows []AblationDRAMRow
-	for _, bw := range []float64{2e9, 4e9, 8e9, 16e9} {
-		row := AblationDRAMRow{BandwidthGBs: bw / 1e9}
-		for _, arch := range []ssd.Arch{ssd.Baseline, ssd.AssasinSb} {
-			s := ssd.New(ssd.Options{
-				Arch:  arch,
-				Cores: cfg.Cores,
-				DRAM:  memhier.DRAMConfig{BandwidthBytesPerSec: bw, Latency: 60 * sim.Nanosecond},
-			})
-			lpas, err := s.InstallBytes(data)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.RunKernel(ssd.KernelRun{
-				Kernel:     kernels.Stat{},
-				Inputs:     [][]int{lpas},
-				InputBytes: []int64{int64(len(data))},
-				RecordSize: 4,
-				Cores:      cfg.Cores,
-				OutKind:    firmware.OutDiscard,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("dram %g on %v: %w", bw, arch, err)
-			}
-			if arch == ssd.Baseline {
-				row.Baseline = res.Throughput()
-			} else {
-				row.AssasinSb = res.Throughput()
-			}
+	bws := []float64{2e9, 4e9, 8e9, 16e9}
+	archs := []ssd.Arch{ssd.Baseline, ssd.AssasinSb}
+	// One job per (bandwidth, configuration).
+	tputs, err := runpool.Map(cfg.workers(), len(bws)*len(archs), func(j int) (float64, error) {
+		bw, arch := bws[j/len(archs)], archs[j%len(archs)]
+		s := ssd.New(ssd.Options{
+			Arch:  arch,
+			Cores: cfg.Cores,
+			DRAM:  memhier.DRAMConfig{BandwidthBytesPerSec: bw, Latency: 60 * sim.Nanosecond},
+		})
+		lpas, err := s.InstallBytes(data)
+		if err != nil {
+			return 0, err
 		}
-		rows = append(rows, row)
+		res, err := s.RunKernel(ssd.KernelRun{
+			Kernel:     kernels.Stat{},
+			Inputs:     [][]int{lpas},
+			InputBytes: []int64{int64(len(data))},
+			RecordSize: 4,
+			Cores:      cfg.Cores,
+			OutKind:    firmware.OutDiscard,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("dram %g on %v: %w", bw, arch, err)
+		}
+		return res.Throughput(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationDRAMRow, len(bws))
+	for i, bw := range bws {
+		rows[i] = AblationDRAMRow{
+			BandwidthGBs: bw / 1e9,
+			Baseline:     tputs[i*len(archs)],
+			AssasinSb:    tputs[i*len(archs)+1],
+		}
 	}
 	return rows, nil
 }
@@ -174,15 +181,23 @@ func MixedIO(cfg Config) (*MixedIOResult, error) {
 		}
 		return tput, nvme.Latencies(comps).Mean, nil
 	}
-	_, idle, err := run(false)
+	// Two independent drives: job 0 idle, job 1 running the offload.
+	type mixedRun struct {
+		tput float64
+		read sim.Time
+	}
+	outs, err := runpool.Map(cfg.workers(), 2, func(i int) (mixedRun, error) {
+		tput, read, err := run(i == 1)
+		return mixedRun{tput: tput, read: read}, err
+	})
 	if err != nil {
 		return nil, err
 	}
-	tput, busy, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return &MixedIOResult{OffloadThroughput: tput, IdleReadMean: idle, BusyReadMean: busy}, nil
+	return &MixedIOResult{
+		OffloadThroughput: outs[1].tput,
+		IdleReadMean:      outs[0].read,
+		BusyReadMean:      outs[1].read,
+	}, nil
 }
 
 // FormatMixedIO renders the generality check.

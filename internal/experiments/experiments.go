@@ -37,6 +37,18 @@ type Config struct {
 	// Verify cross-checks offload outputs against reference
 	// implementations where the experiment collects them.
 	Verify bool
+	// Workers bounds how many independent simulation runs execute
+	// concurrently. 0 or 1 runs everything sequentially; results are
+	// identical either way (see internal/runpool).
+	Workers int
+}
+
+// workers returns the effective pool width for fan-out sites.
+func (c Config) workers() int {
+	if c.Workers > 1 {
+		return c.Workers
+	}
+	return 1
 }
 
 // Default returns the benchmark-scale configuration.

@@ -7,6 +7,7 @@ import (
 	"assasin/internal/cpu"
 	"assasin/internal/firmware"
 	"assasin/internal/kernels"
+	"assasin/internal/runpool"
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
 )
@@ -73,33 +74,47 @@ func Fig21(cfg Config) ([]Fig13Row, error) {
 }
 
 func standaloneSweep(cfg Config, adjusted bool) ([]Fig13Row, error) {
-	var rows []Fig13Row
-	for _, spec := range standaloneKernels(cfg) {
-		row := Fig13Row{Kernel: spec.name, Throughput: map[ssd.Arch]float64{}}
-		inputs := spec.buildInputs()
-		for _, arch := range ssd.AllArchs() {
-			o := runOpts{
-				arch:       arch,
-				adjusted:   adjusted,
-				cores:      cfg.Cores,
-				kernel:     spec.kernel,
-				inputs:     inputs,
-				recordSize: spec.recordSize,
-				outKind:    spec.outKind,
-				collect:    cfg.Verify && spec.outKind != firmware.OutDiscard,
-			}
-			r, err := runStandalone(o)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %v: %w", spec.name, arch, err)
-			}
-			if cfg.Verify {
-				if err := verifyOutputs(o, r); err != nil {
-					return nil, err
-				}
-			}
-			row.Throughput[arch] = r.throughput()
+	specs := standaloneKernels(cfg)
+	archs := ssd.AllArchs()
+	// Inputs are built once per kernel and shared read-only by every
+	// configuration's run.
+	inputs := make([][][]byte, len(specs))
+	for i, spec := range specs {
+		inputs[i] = spec.buildInputs()
+	}
+	// One job per (kernel, configuration); each run builds its own SSD.
+	tputs, err := runpool.Map(cfg.workers(), len(specs)*len(archs), func(j int) (float64, error) {
+		spec, arch := specs[j/len(archs)], archs[j%len(archs)]
+		o := runOpts{
+			arch:       arch,
+			adjusted:   adjusted,
+			cores:      cfg.Cores,
+			kernel:     spec.kernel,
+			inputs:     inputs[j/len(archs)],
+			recordSize: spec.recordSize,
+			outKind:    spec.outKind,
+			collect:    cfg.Verify && spec.outKind != firmware.OutDiscard,
 		}
-		rows = append(rows, row)
+		r, err := runStandalone(o)
+		if err != nil {
+			return 0, fmt.Errorf("%s on %v: %w", spec.name, arch, err)
+		}
+		if cfg.Verify {
+			if err := verifyOutputs(o, r); err != nil {
+				return 0, err
+			}
+		}
+		return r.throughput(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig13Row, len(specs))
+	for i, spec := range specs {
+		rows[i] = Fig13Row{Kernel: spec.name, Throughput: map[ssd.Arch]float64{}}
+		for a, arch := range archs {
+			rows[i].Throughput[arch] = tputs[i*len(archs)+a]
+		}
 	}
 	return rows, nil
 }

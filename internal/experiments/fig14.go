@@ -7,6 +7,7 @@ import (
 
 	"assasin/internal/firmware"
 	"assasin/internal/host"
+	"assasin/internal/runpool"
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
 	"assasin/internal/tpch"
@@ -102,38 +103,50 @@ func Fig21PSF(cfg Config) ([]Fig14Row, error) {
 
 func fig14Sweep(cfg Config, adjusted bool, archs []ssd.Arch) ([]Fig14Row, error) {
 	p := newPSFDataset(cfg.TPCHScale)
-	var rows []Fig14Row
-	for _, q := range tpch.Queries() {
+	queries := tpch.Queries()
+	// Per-query reference outputs are computed up front (host-side, cheap)
+	// so the fan-out jobs only read them.
+	rows := make([]Fig14Row, len(queries))
+	refs := make([][]byte, len(queries))
+	for i, q := range queries {
 		csv := p.csv[q.Table]
-		row := Fig14Row{
+		rows[i] = Fig14Row{
 			Query:      q.ID,
 			Table:      q.Table,
 			InputBytes: int64(len(csv)),
 			Throughput: map[ssd.Arch]float64{},
 		}
-		var ref []byte
 		if cfg.Verify {
 			refOut, err := q.PSF.Reference([][]byte{csv})
 			if err != nil {
 				return nil, err
 			}
-			ref = refOut[0]
+			refs[i] = refOut[0]
 			rowsIn := len(p.offsets[q.Table]) - 1
 			if rowsIn > 0 {
-				row.Selectivity = float64(len(ref)/(4*len(q.PSF.Project))) / float64(rowsIn)
+				rows[i].Selectivity = float64(len(refs[i])/(4*len(q.PSF.Project))) / float64(rowsIn)
 			}
 		}
-		for _, arch := range archs {
-			res, out, err := p.runQueryPSF(q, arch, cfg.Cores, adjusted, cfg.Verify)
-			if err != nil {
-				return nil, err
-			}
-			if cfg.Verify && !bytes.Equal(out, ref) {
-				return nil, fmt.Errorf("Q%d on %v: PSF output mismatch (%d vs %d bytes)", q.ID, arch, len(out), len(ref))
-			}
-			row.Throughput[arch] = res.Throughput()
+	}
+	// One job per (query, configuration); the dataset is read-only here on.
+	tputs, err := runpool.Map(cfg.workers(), len(queries)*len(archs), func(j int) (float64, error) {
+		q, arch := queries[j/len(archs)], archs[j%len(archs)]
+		res, out, err := p.runQueryPSF(q, arch, cfg.Cores, adjusted, cfg.Verify)
+		if err != nil {
+			return 0, err
 		}
-		rows = append(rows, row)
+		if cfg.Verify && !bytes.Equal(out, refs[j/len(archs)]) {
+			return 0, fmt.Errorf("Q%d on %v: PSF output mismatch (%d vs %d bytes)", q.ID, arch, len(out), len(refs[j/len(archs)]))
+		}
+		return res.Throughput(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		for a, arch := range archs {
+			rows[i].Throughput[arch] = tputs[i*len(archs)+a]
+		}
 	}
 	return rows, nil
 }
@@ -198,8 +211,10 @@ func Fig15(cfg Config) ([]Fig15Row, error) {
 	if cores < 8 {
 		cores = 8
 	}
-	var rows []Fig15Row
-	for _, q := range tpch.Queries() {
+	queries := tpch.Queries()
+	// One job per query; each runs its own pair of SSDs and a local Exec.
+	return runpool.Map(cfg.workers(), len(queries), func(i int) (Fig15Row, error) {
+		q := queries[i]
 		csv := p.csv[q.Table]
 		scan := q.ScanRelation(p.ds)
 
@@ -219,21 +234,20 @@ func Fig15(cfg Config) ([]Fig15Row, error) {
 		// Offloaded paths: PSF runs in-SSD; only results cross the bus.
 		resBase, _, err := p.runQueryPSF(q, ssd.Baseline, cores, true, false)
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, err
 		}
 		resSb, _, err := p.runQueryPSF(q, ssd.AssasinSb, cores, true, false)
 		if err != nil {
-			return nil, err
+			return Fig15Row{}, err
 		}
 
-		rows = append(rows, Fig15Row{
+		return Fig15Row{
 			Query:    q.ID,
 			PureCPU:  hm.PureCPU(int64(len(csv)), pureWork),
 			Baseline: hm.Offloaded(resBase.Duration, resultBytes, body.Work),
 			Assasin:  hm.Offloaded(resSb.Duration, resultBytes, body.Work),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // FormatFig15 renders latencies and the headline geomean ratios (paper:

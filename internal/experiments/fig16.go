@@ -9,6 +9,7 @@ import (
 	"assasin/internal/firmware"
 	"assasin/internal/ftl"
 	"assasin/internal/kernels"
+	"assasin/internal/runpool"
 	"assasin/internal/ssd"
 )
 
@@ -38,8 +39,10 @@ func scanCoreRate(unroll int) float64 {
 // with high core utilization and balanced channels (Figs. 16-18).
 func Fig16(cfg Config) ([]Fig16Point, error) {
 	scan := kernels.Scan{}
-	var points []Fig16Point
-	for _, cores := range []int{1, 2, 4, 8, 12, 16} {
+	coreCounts := []int{1, 2, 4, 8, 12, 16}
+	// One job per core count; each builds its own input and SSD.
+	return runpool.Map(cfg.workers(), len(coreCounts), func(i int) (Fig16Point, error) {
+		cores := coreCounts[i]
 		// Keep at least ~1 MB per core so the measurement is steady-state
 		// dominated rather than fill-latency dominated.
 		sizeMB := cfg.ScanMB
@@ -59,7 +62,7 @@ func Fig16(cfg Config) ([]Fig16Point, error) {
 			windowPages: 16,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("scan at %d cores: %w", cores, err)
+			return Fig16Point{}, fmt.Errorf("scan at %d cores: %w", cores, err)
 		}
 		tput := r.throughput()
 
@@ -90,9 +93,8 @@ func Fig16(cfg Config) ([]Fig16Point, error) {
 			p.ChannelBytes = append(p.ChannelBytes, bytesC)
 			p.ChannelThroughput = append(p.ChannelThroughput, float64(bytesC)/r.res.Duration.Seconds())
 		}
-		points = append(points, p)
-	}
-	return points, nil
+		return p, nil
+	})
 }
 
 // FormatFig16 renders throughput scaling.
@@ -172,8 +174,11 @@ func Fig19(cfg Config) ([]Fig19Point, error) {
 	if min := ssd.DefaultFlashConfig().Channels; cores < min {
 		cores = min
 	}
-	var points []Fig19Point
-	for _, skew := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+	skews := []float64{0, 0.25, 0.5, 0.75, 1.0}
+	// One job per skew point; the crossbar/channel-local pair stays inside
+	// the job (both runs share the measured-skew computation).
+	return runpool.Map(cfg.workers(), len(skews), func(i int) (Fig19Point, error) {
+		skew := skews[i]
 		var measured float64
 		run := func(channelLocal bool) (float64, error) {
 			s := ssd.New(ssd.Options{
@@ -204,15 +209,14 @@ func Fig19(cfg Config) ([]Fig19Point, error) {
 		}
 		xbar, err := run(false)
 		if err != nil {
-			return nil, fmt.Errorf("skew %.2f crossbar: %w", skew, err)
+			return Fig19Point{}, fmt.Errorf("skew %.2f crossbar: %w", skew, err)
 		}
 		local, err := run(true)
 		if err != nil {
-			return nil, fmt.Errorf("skew %.2f channel-local: %w", skew, err)
+			return Fig19Point{}, fmt.Errorf("skew %.2f channel-local: %w", skew, err)
 		}
-		points = append(points, Fig19Point{Skew: skew, MeasuredSkew: measured, Crossbar: xbar, ChannelLocal: local})
-	}
-	return points, nil
+		return Fig19Point{Skew: skew, MeasuredSkew: measured, Crossbar: xbar, ChannelLocal: local}, nil
+	})
 }
 
 // FormatFig19 renders the sensitivity study.

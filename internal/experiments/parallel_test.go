@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// quickFor returns the test-scale config at a given pool width. Functional
+// verification is off — the sequential tests cover it — and inputs are
+// shrunk further so the sequential-vs-parallel double run stays cheap.
+func quickFor(workers int) Config {
+	cfg := Quick()
+	cfg.Workers = workers
+	cfg.Verify = false
+	cfg.KernelMB = 0.125
+	cfg.AESKB = 16
+	return cfg
+}
+
+// TestFig13ParallelDeterminism checks the harness guarantee end to end:
+// the standalone sweep fanned across 4 workers renders byte-identically to
+// the sequential sweep.
+func TestFig13ParallelDeterminism(t *testing.T) {
+	seq, err := Fig13(quickFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig13(quickFor(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := FormatFig13("Fig 13", seq), FormatFig13("Fig 13", par)
+	if a != b {
+		t.Fatalf("parallel Fig13 differs from sequential:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}
+
+// TestFig14ParallelDeterminism does the same for the TPC-H PSF sweep,
+// which also exercises the shared read-only dataset across workers.
+func TestFig14ParallelDeterminism(t *testing.T) {
+	seq, err := Fig14(quickFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Fig14(quickFor(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := FormatFig14("Fig 14", seq), FormatFig14("Fig 14", par)
+	if a != b {
+		t.Fatalf("parallel Fig14 differs from sequential:\n--- workers=1\n%s\n--- workers=4\n%s", a, b)
+	}
+}
+
+// TestParallelSoak repeatedly fans whole-SSD runs across an oversubscribed
+// pool — the experiments-level companion to runpool's own soak, meant to
+// run under -race to catch shared state the audit missed.
+func TestParallelSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	cfg := Quick()
+	cfg.Workers = runtime.GOMAXPROCS(0) * 2
+	cfg.KernelMB = 0.0625
+	cfg.AESKB = 8
+	for round := 0; round < 3; round++ {
+		if _, err := Fig13(cfg); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}

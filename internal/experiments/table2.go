@@ -8,6 +8,7 @@ import (
 
 	"assasin/internal/firmware"
 	"assasin/internal/kernels"
+	"assasin/internal/runpool"
 	"assasin/internal/ssd"
 )
 
@@ -59,8 +60,11 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		{"NN training (SGD)", "weights (scratchpad)", train, [][]byte{trainRecords(train, kb, 52)}, train.RecordSize(), firmware.OutDiscard, 0},
 	}
 
-	var rows []Table2Row
-	for _, e := range entries {
+	// One job per (function, configuration); entry inputs were generated
+	// above and are shared read-only.
+	archs := []ssd.Arch{ssd.Baseline, ssd.AssasinSb}
+	tputs, err := runpool.Map(cfg.workers(), len(entries)*len(archs), func(j int) (float64, error) {
+		e, arch := entries[j/len(archs)], archs[j%len(archs)]
 		cores := e.cores
 		if cores == 0 {
 			cores = cfg.Cores
@@ -70,33 +74,42 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			rec = len(e.inputs[0]) // unsplittable stream: one core
 			cores = 1
 		}
-		row := Table2Row{Function: e.name, StateDesc: e.state, Cores: cores}
-		for _, arch := range []ssd.Arch{ssd.Baseline, ssd.AssasinSb} {
-			o := runOpts{
-				arch:       arch,
-				cores:      cores,
-				kernel:     e.kernel,
-				inputs:     e.inputs,
-				recordSize: rec,
-				outKind:    e.out,
-				collect:    cfg.Verify && e.out != firmware.OutDiscard,
-			}
-			r, err := runStandalone(o)
-			if err != nil {
-				return nil, fmt.Errorf("%s on %v: %w", e.name, arch, err)
-			}
-			if cfg.Verify {
-				if err := verifyOutputs(o, r); err != nil {
-					return nil, err
-				}
-			}
-			if arch == ssd.Baseline {
-				row.Baseline = r.throughput()
-			} else {
-				row.AssasinSb = r.throughput()
+		o := runOpts{
+			arch:       arch,
+			cores:      cores,
+			kernel:     e.kernel,
+			inputs:     e.inputs,
+			recordSize: rec,
+			outKind:    e.out,
+			collect:    cfg.Verify && e.out != firmware.OutDiscard,
+		}
+		r, err := runStandalone(o)
+		if err != nil {
+			return 0, fmt.Errorf("%s on %v: %w", e.name, arch, err)
+		}
+		if cfg.Verify {
+			if err := verifyOutputs(o, r); err != nil {
+				return 0, err
 			}
 		}
-		rows = append(rows, row)
+		return r.throughput(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(entries))
+	for i, e := range entries {
+		cores := e.cores
+		if cores == 0 {
+			cores = cfg.Cores
+		}
+		if e.rec == 0 {
+			cores = 1
+		}
+		rows[i] = Table2Row{
+			Function: e.name, StateDesc: e.state, Cores: cores,
+			Baseline: tputs[i*len(archs)], AssasinSb: tputs[i*len(archs)+1],
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateNames(t *testing.T) {
+	if err := ValidateNames(ExperimentIDs()); err != nil {
+		t.Fatalf("all known ids rejected: %v", err)
+	}
+	err := ValidateNames([]string{"fig13", "fig99"})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "fig99") || !strings.Contains(err.Error(), "fig13") {
+		t.Fatalf("error should name the bad id and list valid ones: %v", err)
+	}
+}
+
+func TestValidateOverrides(t *testing.T) {
+	if err := ValidateOverrides(0, 0, 0, 0); err != nil {
+		t.Fatalf("zero overrides rejected: %v", err)
+	}
+	if err := ValidateOverrides(8, 4, 0.01, 2); err != nil {
+		t.Fatalf("valid overrides rejected: %v", err)
+	}
+	cases := []struct {
+		cores, parallel int
+		sf, mb          float64
+		want            string
+	}{
+		{cores: -1, want: "-cores"},
+		{parallel: -2, want: "-parallel"},
+		{sf: -0.5, want: "-sf"},
+		{mb: -1, want: "-mb"},
+	}
+	for _, c := range cases {
+		err := ValidateOverrides(c.cores, c.parallel, c.sf, c.mb)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ValidateOverrides(%d,%d,%g,%g) = %v, want error naming %s",
+				c.cores, c.parallel, c.sf, c.mb, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package runpool fans independent simulation runs across a bounded pool of
+// worker goroutines. The evaluation (Section VI) is dominated by embarrassingly
+// parallel sweeps — kernels × configurations, queries × configurations, core
+// counts, skew points — where every run builds its own SSD instance and shares
+// nothing mutable with its siblings. The pool exploits that: jobs are indexed,
+// results land in index order, and a pool of one worker degenerates to exactly
+// the sequential loop, so parallel output is byte-identical to sequential
+// output as long as each job derives its randomness from its own index (see
+// Seed) rather than from shared RNG state.
+//
+// What is safe to fan out through this package is a whole simulation run (an
+// ssd.SSD with its scheduler, flash array, DRAM and cores). What is not safe
+// is anything inside one sim.Scheduler: processes co-simulated by a scheduler
+// share an event queue and must stay on one goroutine.
+package runpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool width: one worker per schedulable
+// CPU, the widest fan-out that does not oversubscribe the host.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers bounds the pool width to [1, n].
+func clampWorkers(workers, n int) int {
+	if workers <= 1 {
+		return 1
+	}
+	if workers > n {
+		return n
+	}
+	return workers
+}
+
+// Run executes jobs 0..n-1 on up to workers goroutines. With workers <= 1 it
+// is exactly the sequential loop: jobs run in index order and the first error
+// stops the remainder. With more workers, jobs are claimed in index order by
+// an atomic cursor; after a failure, unstarted jobs are skipped, and the
+// lowest-index error among the jobs that ran is returned, so a run that fails
+// deterministically under the sequential path reports the same error in
+// parallel.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over 0..n-1 like Run and returns the results in index order —
+// the parallel result is the same slice the sequential loop would build.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Seed derives a per-run RNG seed from a base seed and a job index
+// (splitmix64 of the pair). Jobs that need randomness must seed from their
+// own index this way — never from a shared rand source, whose consumption
+// order would depend on scheduling.
+func Seed(base, i int64) int64 {
+	z := uint64(base)*0x9E3779B97F4A7C15 + uint64(i) + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,133 @@
+package runpool
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderingMatchesSequential(t *testing.T) {
+	n := 100
+	fn := func(i int) (int, error) {
+		// Finish out of submission order to stress result placement.
+		time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+		return i * i, nil
+	}
+	seq, err := Map(1, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(8, n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %d vs parallel %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunExecutesEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 200
+		counts := make([]atomic.Int32, n)
+		if err := Run(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad map[int]bool) func(int) error {
+		return func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		}
+	}
+	// Every job fails: the reported error must be job 0's regardless of
+	// scheduling.
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 50, errAt(map[int]bool{0: true, 1: true, 2: true}))
+		if err == nil || err.Error() != "job 0 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 0 failed", workers, err)
+		}
+	}
+}
+
+func TestRunSequentialStopsAtFirstError(t *testing.T) {
+	ran := 0
+	sentinel := errors.New("boom")
+	err := Run(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("sequential run executed %d jobs after error, want 4", ran)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedDeterministicAndSpread(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := int64(0); i < 1000; i++ {
+		s := Seed(42, i)
+		if s != Seed(42, i) {
+			t.Fatal("Seed not deterministic")
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Error("base seed ignored")
+	}
+}
+
+// TestPoolSoak is the -race soak of the harness: many short jobs hammering
+// the claim cursor and the shared result slice from every worker.
+func TestPoolSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short")
+	}
+	workers := runtime.GOMAXPROCS(0) * 2
+	for round := 0; round < 20; round++ {
+		n := 500
+		out, err := Map(workers, n, func(i int) (int64, error) {
+			return Seed(int64(round), int64(i)) & 0xffff, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if want := Seed(int64(round), int64(i)) & 0xffff; v != want {
+				t.Fatalf("round %d index %d: %d != %d", round, i, v, want)
+			}
+		}
+	}
+}

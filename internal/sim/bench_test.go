@@ -1,0 +1,33 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventQueue measures the schedule→dispatch cycle with a steady
+// working set of pending events — the firmware page pipeline's pattern.
+func BenchmarkEventQueue(b *testing.B) {
+	var q EventQueue
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(q.Now()+Time(i%7+1), fn)
+		if i >= 32 {
+			q.Step()
+		}
+	}
+	for q.Step() {
+	}
+}
+
+// BenchmarkEventQueueScheduleCancel measures the schedule→cancel path used
+// by timeout-style events that usually do not fire.
+func BenchmarkEventQueueScheduleCancel(b *testing.B) {
+	var q EventQueue
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := q.Schedule(q.Now()+Time(i%7+1), fn)
+		q.Cancel(e)
+	}
+}

@@ -3,6 +3,11 @@ package sim
 import "container/heap"
 
 // Event is a callback scheduled at a point in simulated time.
+//
+// Event objects are pooled by their queue: the handle returned by Schedule is
+// valid only until the event fires or is cancelled, after which the queue may
+// recycle the object for a later Schedule. Hold the handle to Cancel a
+// pending event; drop it once the event has been dispatched.
 type Event struct {
 	At Time
 	Fn func(now Time)
@@ -47,6 +52,10 @@ type EventQueue struct {
 	heap eventHeap
 	now  Time
 	seq  int64
+	// free recycles dispatched/cancelled Event objects so the steady-state
+	// schedule→dispatch cycle of the firmware page pipeline allocates
+	// nothing.
+	free []*Event
 }
 
 // Now returns the time of the most recently dispatched event.
@@ -60,9 +69,29 @@ func (q *EventQueue) Schedule(at Time, fn func(now Time)) *Event {
 		at = q.now
 	}
 	q.seq++
-	e := &Event{At: at, Fn: fn, seq: q.seq}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		e.At, e.Fn, e.seq = at, fn, q.seq
+	} else {
+		if cap(q.heap) == 0 {
+			// First use: pre-size the heap so the early fill of the page
+			// pipeline does not grow it step by step.
+			q.heap = make(eventHeap, 0, 64)
+		}
+		e = &Event{At: at, Fn: fn, seq: q.seq}
+	}
 	heap.Push(&q.heap, e)
 	return e
+}
+
+// recycle returns a no-longer-queued event to the pool, dropping its closure
+// reference.
+func (q *EventQueue) recycle(e *Event) {
+	e.Fn = nil
+	q.free = append(q.free, e)
 }
 
 // ScheduleAfter queues fn to run delta after the current time.
@@ -71,12 +100,15 @@ func (q *EventQueue) ScheduleAfter(delta Time, fn func(now Time)) *Event {
 }
 
 // Cancel removes a queued event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op (but see Event: a stale handle may by
+// then refer to a recycled object, so cancel only handles you know are still
+// pending).
 func (q *EventQueue) Cancel(e *Event) {
 	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
 		return
 	}
 	heap.Remove(&q.heap, e.index)
+	q.recycle(e)
 }
 
 // Empty reports whether no events remain.
@@ -97,7 +129,11 @@ func (q *EventQueue) Step() bool {
 	}
 	e := heap.Pop(&q.heap).(*Event)
 	q.now = e.At
-	e.Fn(e.At)
+	fn, at := e.Fn, e.At
+	// Recycle before dispatch: the callback may Schedule, and should be able
+	// to reuse this object immediately.
+	q.recycle(e)
+	fn(at)
 	return true
 }
 

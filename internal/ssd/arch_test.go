@@ -1,0 +1,45 @@
+package ssd
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestArchTextRoundTrip(t *testing.T) {
+	for _, a := range AllArchs() {
+		txt, err := a.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Arch
+		if err := back.UnmarshalText(txt); err != nil {
+			t.Fatalf("%s: %v", txt, err)
+		}
+		if back != a {
+			t.Fatalf("round trip %v -> %s -> %v", a, txt, back)
+		}
+	}
+	var bad Arch
+	if err := bad.UnmarshalText([]byte("NotAnArch")); err == nil {
+		t.Fatal("unknown architecture accepted")
+	}
+}
+
+// Arch-keyed maps are what the -json output serializes; keys must be the
+// configuration names, not integers.
+func TestArchJSONMapKeys(t *testing.T) {
+	b, err := json.Marshal(map[Arch]float64{AssasinSbCache: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"AssasinSb$":1.5}` {
+		t.Fatalf("map marshals as %s", b)
+	}
+	var back map[Arch]float64
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[AssasinSbCache] != 1.5 {
+		t.Fatalf("unmarshal lost the key: %v", back)
+	}
+}

@@ -63,6 +63,23 @@ func (a Arch) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler so Arch-keyed maps and
+// fields serialize with the paper's configuration names.
+func (a Arch) MarshalText() ([]byte, error) { return []byte(a.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler (the inverse of
+// MarshalText).
+func (a *Arch) UnmarshalText(text []byte) error {
+	s := string(text)
+	for _, c := range AllArchs() {
+		if c.String() == s {
+			*a = c
+			return nil
+		}
+	}
+	return fmt.Errorf("ssd: unknown architecture %q", s)
+}
+
 // AllArchs lists the six evaluated configurations in Table IV order.
 func AllArchs() []Arch {
 	return []Arch{Baseline, UDP, Prefetch, AssasinSp, AssasinSb, AssasinSbCache}
