@@ -1,0 +1,25 @@
+# Convenience entry points; every target is plain go tooling underneath.
+
+.PHONY: all build test race bench bench-baseline
+
+all: test
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+# The data-race gate for the packages the fused interpreter touches.
+race:
+	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/...
+
+# Quick micro-benchmark pass (3 samples; use bench-baseline for the
+# committed 5-sample baselines).
+bench:
+	go test ./internal/cpu/ ./internal/memhier/ -run '^$$' -bench . -benchmem -count 3
+
+# Regenerate the committed baselines under bench/ (micro benches + every
+# BENCH_<exp>.json whole-experiment artifact).
+bench-baseline:
+	scripts/bench.sh

@@ -22,8 +22,13 @@ import (
 	"time"
 
 	"assasin/internal/experiments"
+	"assasin/internal/profiling"
 	"assasin/internal/runpool"
 )
+
+// stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
+// must call it because os.Exit skips defers.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -35,12 +40,20 @@ func main() {
 		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
 		parallel = flag.Int("parallel", runpool.DefaultWorkers(), "max concurrent simulation runs (1 = sequential; results are identical)")
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
 	flag.Parse()
 
 	if err := experiments.ValidateOverrides(*cores, *parallel, *sf, *mb); err != nil {
 		fatal(err)
 	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
 	cfg := experiments.Default()
 	if *quick {
@@ -80,6 +93,7 @@ func main() {
 		rows, text, err := run(name, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Print(text)
@@ -87,6 +101,7 @@ func main() {
 		if *jsonDir != "" {
 			if err := writeJSON(*jsonDir, name, cfg, rows, wall); err != nil {
 				fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
+				stopProfiles()
 				os.Exit(1)
 			}
 		}
@@ -96,6 +111,7 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "assasin-bench: %v\n", err)
+	stopProfiles()
 	os.Exit(2)
 }
 

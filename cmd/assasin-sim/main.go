@@ -19,8 +19,13 @@ import (
 	"assasin/internal/cpu"
 	"assasin/internal/firmware"
 	"assasin/internal/kernels"
+	"assasin/internal/profiling"
 	"assasin/internal/ssd"
 )
+
+// stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
+// must call it because os.Exit skips defers.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -30,6 +35,9 @@ func main() {
 		cores    = flag.Int("cores", 8, "compute engines")
 		adjusted = flag.Bool("adjusted", false, "apply Fig 20 timing adjustments")
 		seed     = flag.Int64("seed", 1, "input data seed")
+		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -47,8 +55,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var mode cpu.ExecMode
+	switch *execMode {
+	case "fused":
+		mode = cpu.ExecFused
+	case "precise":
+		mode = cpu.ExecPrecise
+	default:
+		fail(fmt.Errorf("unknown -exec %q (valid: fused, precise)", *execMode))
+	}
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
+	stopProfiles = stop
+	defer stop()
 
-	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted})
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode})
 	size := int(*mb * (1 << 20))
 	size -= size % 64
 	var lpaLists [][]int
@@ -206,5 +229,6 @@ func makeInput(kernel string, size int, seed int64) []byte {
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "assasin-sim: %v\n", err)
+	stopProfiles()
 	os.Exit(1)
 }

@@ -41,6 +41,8 @@ type Config struct {
 	ScratchpadCycles int
 	// WithCache adds the AssasinSb$ 32K L1D backed by DRAM.
 	WithCache bool
+	// Exec selects the interpreter strategy (cpu.ExecFused by default).
+	Exec cpu.ExecMode
 }
 
 // DefaultConfig is the paper's AssasinSb core: S=8 slots, a 32 KiB window
@@ -92,6 +94,7 @@ func Build(cfg Config, dram *memhier.DRAM, client string) (*Core, error) {
 	}
 	ccfg := cpu.DefaultConfig(cfg.Name)
 	ccfg.Clock = cfg.Clock
+	ccfg.Exec = cfg.Exec
 	c := cpu.New(ccfg, sys)
 	return &Core{CPU: c, Sys: sys}, nil
 }

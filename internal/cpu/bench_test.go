@@ -58,6 +58,45 @@ func BenchmarkCoreStepALU(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreFusedBlock compares the fused basic-block engine against
+// precise per-instruction stepping on the same straight-line ALU loop — the
+// speedup the fused default buys (the Stats the two modes produce are
+// byte-identical; see internal/experiments' equivalence soak).
+func BenchmarkCoreFusedBlock(b *testing.B) {
+	build := func() *asm.Program {
+		bb := asm.New()
+		loop := bb.Here()
+		bb.Addi(asm.T0, asm.T0, 1)
+		bb.Xor(asm.T2, asm.T2, asm.T0)
+		bb.Slli(asm.T3, asm.T0, 3)
+		bb.Add(asm.T2, asm.T2, asm.T3)
+		bb.Addi(asm.T4, asm.T2, 7)
+		bb.And(asm.T5, asm.T4, asm.T0)
+		bb.Or(asm.T6, asm.T5, asm.T2)
+		bb.Sub(asm.S0, asm.T6, asm.T0)
+		bb.J(loop)
+		return bb.MustBuild()
+	}
+	for _, mode := range []ExecMode{ExecFused, ExecPrecise} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := DefaultConfig("bench")
+			cfg.BranchFree = true
+			cfg.MaxInstructions = 1 << 62
+			cfg.Exec = mode
+			c := New(cfg, newTestSystem())
+			c.LoadProgram(build())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for c.Stats().Instructions < int64(b.N) {
+				c.Run(c.LocalTime() + 100*sim.Microsecond)
+			}
+			if c.Err() != nil {
+				b.Fatal(c.Err())
+			}
+		})
+	}
+}
+
 // BenchmarkStreamLoadPath measures the stream-ISA fast path end to end.
 func BenchmarkStreamLoadPath(b *testing.B) {
 	bb := asm.New()

@@ -32,6 +32,10 @@ type Config struct {
 	BranchFree bool
 	// MaxInstructions aborts runaway programs (0 = default guard).
 	MaxInstructions int64
+	// Exec selects the interpreter strategy: ExecFused (default) runs
+	// basic blocks and recognized stream loops as macro-steps with
+	// byte-identical timing; ExecPrecise forces per-instruction stepping.
+	Exec ExecMode
 }
 
 // DefaultConfig returns 1 GHz ibex-like timing.
@@ -129,6 +133,12 @@ type Core struct {
 	dec     []decoded
 	decFrom *asm.Program // program the decode cache was built from
 
+	// Fused-execution metadata, rebuilt with the decode cache (fused.go):
+	// aluRun[i] is the length of the straight ALU run starting at i, and
+	// loops[i] non-nil marks i as the head of a recognized stream loop.
+	aluRun []int32
+	loops  []*loopInfo
+
 	regs   [isa.NumRegs]uint32
 	pc     int
 	at     sim.Time
@@ -211,6 +221,9 @@ func (c *Core) LoadProgram(p *asm.Program) {
 		for i, in := range p.Insts {
 			c.dec[i] = decode(in)
 		}
+		if c.cfg.Exec == ExecFused {
+			c.aluRun, c.loops = analyzeProgram(c.dec)
+		}
 		c.decFrom = p
 	}
 	c.pc = 0
@@ -273,6 +286,7 @@ func (c *Core) Run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 		}
 		c.wakeAt = sim.MaxTime
 	}
+	fused := c.cfg.Exec == ExecFused
 	for c.at <= limit {
 		if c.pc < 0 || c.pc >= len(c.dec) {
 			c.fail(fmt.Errorf("cpu %s: pc %d out of program (len %d)", c.cfg.Name, c.pc, len(c.dec)))
@@ -281,6 +295,34 @@ func (c *Core) Run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 		if c.stats.Instructions >= c.maxInsts {
 			c.fail(fmt.Errorf("cpu %s: instruction budget %d exceeded", c.cfg.Name, c.maxInsts))
 			return c.at, sim.StateDone, 0
+		}
+		if fused {
+			if li := c.loops[c.pc]; li != nil {
+				switch c.runLoop(li, limit) {
+				case loopProgress:
+					c.blocked = false
+					continue
+				case loopBlockedExit:
+					if !c.blocked {
+						c.blocked = true
+						c.wakeAt = sim.MaxTime
+					}
+					c.stats.Retries++
+					return c.at, sim.StateWaiting, c.wakeAt
+				case loopHaltedExit:
+					c.blocked = false
+					if c.haltCallback != nil {
+						c.haltCallback(c.at)
+					}
+					return c.at, sim.StateDone, 0
+				}
+				// loopNoProgress: fall through to the per-instruction path,
+				// which is guaranteed to advance, block, or halt.
+			} else if n := c.aluRun[c.pc]; n > 1 {
+				c.pc = c.runALUBlock(c.pc, int(n), limit)
+				c.blocked = false
+				continue
+			}
 		}
 		in := &c.dec[c.pc]
 		blocked := c.step(in, period)

@@ -1,0 +1,539 @@
+package cpu
+
+// Fused (macro) execution: the default interpreter strategy. At program-load
+// time the decoded instruction stream is partitioned into basic blocks and
+// recognized stream-loop bodies; Core.Run then executes straight ALU runs as
+// one fused step (a single time/stat accumulation) and loop iterations
+// against pre-validated stream windows without re-crossing the
+// memhier.System wrappers per byte. Timing is byte-identical to ExecPrecise:
+// every fast path reproduces exactly the c.at advance, Stats deltas, and
+// blocking/halting behavior of the equivalent sequence of step() calls, and
+// every Run call returns at the same local-time boundary — so the scheduler
+// interleaving, and with it every shared-resource (DRAM, flash) access
+// order, is unchanged. See DESIGN.md, "Fused execution engine".
+
+import (
+	"assasin/internal/isa"
+	"assasin/internal/memhier"
+	"assasin/internal/sim"
+)
+
+// ExecMode selects the interpreter strategy.
+type ExecMode int
+
+const (
+	// ExecFused (default) runs basic blocks and recognized stream loops as
+	// macro-steps with timing identical to precise stepping.
+	ExecFused ExecMode = iota
+	// ExecPrecise interprets one instruction per step — the reference
+	// semantics, kept as a debugging fallback.
+	ExecPrecise
+)
+
+// String implements fmt.Stringer.
+func (m ExecMode) String() string {
+	if m == ExecPrecise {
+		return "precise"
+	}
+	return "fused"
+}
+
+// streamNeed is the worst-case byte requirement of one loop iteration
+// against one stream slot.
+type streamNeed struct {
+	slot int
+	need int64
+}
+
+// loopInfo describes a recognized loop: a backward branch/jal at end
+// targeting head, whose body consists only of operations the fused executor
+// can run without leaving the core (ALU/mul/div, loads/stores, stream ops
+// with compile-time extents, forward branches, halt). ins/outs give the
+// per-iteration worst-case stream consumption/production used to pre-check
+// that a whole iteration cannot block.
+type loopInfo struct {
+	head, end int
+	bodyLen   int64 // instruction-budget bound per iteration
+	ins       []streamNeed
+	outs      []streamNeed
+	// pureALU marks a body that is one straight ALU run closed by an
+	// unconditional x0-linked jal: iterations are identical in time and
+	// effect, so runLoop batches as many as fit the quantum in one pass.
+	pureALU bool
+}
+
+// analyzeProgram builds the fused-execution metadata for a decoded program:
+// per-pc straight ALU run lengths and recognized loop bodies.
+func analyzeProgram(dec []decoded) ([]int32, []*loopInfo) {
+	n := len(dec)
+	aluRun := make([]int32, n+1)
+	for i := n - 1; i >= 0; i-- {
+		if dec[i].class == isa.ClassALU {
+			aluRun[i] = aluRun[i+1] + 1
+		}
+	}
+	loops := make([]*loopInfo, n)
+	for e := 0; e < n; e++ {
+		in := &dec[e]
+		back := false
+		switch in.class {
+		case isa.ClassBranch:
+			back = in.imm < 0
+		case isa.ClassJump:
+			back = in.op == isa.OpJal && in.imm < 0
+		}
+		if !back {
+			continue
+		}
+		head := e + int(in.imm)
+		if head < 0 || loops[head] != nil {
+			continue
+		}
+		li := buildLoop(dec, head, e)
+		if li != nil && e > head && int(aluRun[head]) == e-head &&
+			in.class == isa.ClassJump && in.rd == 0 {
+			li.pureALU = true
+		}
+		loops[head] = li
+	}
+	return aluRun[:n], loops
+}
+
+// buildLoop validates the body [head, end] and computes its per-slot stream
+// needs; it returns nil when any instruction is outside the fusable subset.
+func buildLoop(dec []decoded, head, end int) *loopInfo {
+	consume := map[int]int64{} // StreamLoad widths + Adv amounts per in slot
+	peek := map[int]int64{}    // max Peek extent (off+width) per in slot
+	produce := map[int]int64{} // StreamStore widths per out slot
+	for i := head; i <= end; i++ {
+		in := &dec[i]
+		switch in.class {
+		case isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassLoad, isa.ClassStore, isa.ClassHalt:
+			// Always fusable: loads/stores go through the same
+			// memhier.System calls as precise stepping.
+		case isa.ClassBranch:
+			if !(in.imm > 0 || (i == end && i+int(in.imm) == head)) {
+				return nil // inner backward branch: let the outer loop win
+			}
+		case isa.ClassJump:
+			if in.op != isa.OpJal {
+				return nil // jalr targets are data-dependent
+			}
+			if !(in.imm > 0 || (i == end && i+int(in.imm) == head)) {
+				return nil
+			}
+		case isa.ClassStreamLoad:
+			s := int(in.stream)
+			if in.op == isa.OpStreamLoad {
+				consume[s] += int64(in.width)
+			} else { // StreamPeek
+				if in.imm < 0 {
+					return nil
+				}
+				if ext := int64(in.imm) + int64(in.width); ext > peek[s] {
+					peek[s] = ext
+				}
+			}
+		case isa.ClassStreamStore:
+			produce[int(in.stream)] += int64(in.width)
+		case isa.ClassStreamCtl:
+			switch in.op {
+			case isa.OpStreamAdv:
+				if in.imm < 0 {
+					return nil
+				}
+				consume[int(in.stream)] += int64(in.imm) * int64(in.width)
+			case isa.OpStreamEnd:
+				// Computed exactly from Head/Tail/closed state.
+			case isa.OpStreamCsrR:
+				if in.imm != 0 && in.imm != 1 {
+					return nil
+				}
+			default:
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	li := &loopInfo{head: head, end: end, bodyLen: int64(end - head + 1)}
+	for s := range peek {
+		if _, ok := consume[s]; !ok {
+			consume[s] = 0 // peek-only slot still needs an entry
+		}
+	}
+	for s, n := range consume {
+		// At any point in an iteration, bytes needed past the entry Head are
+		// bounded by the total consumption plus the largest peek extent.
+		li.ins = append(li.ins, streamNeed{slot: s, need: n + peek[s]})
+	}
+	for s, n := range produce {
+		li.outs = append(li.outs, streamNeed{slot: s, need: n})
+	}
+	return li
+}
+
+// runALUBlock executes up to n consecutive ALU instructions starting at pc
+// as one fused step: register updates in sequence, then a single c.at
+// advance and one BusyTime/Instructions accumulation. The executed count is
+// clamped so that, exactly like precise stepping, an instruction issues iff
+// its start time is <= limit and the instruction budget is never exceeded.
+// It returns the next pc.
+func (c *Core) runALUBlock(pc, n int, limit sim.Time) int {
+	period := c.cfg.Clock.Period
+	if rem := c.maxInsts - c.stats.Instructions; int64(n) > rem {
+		n = int(rem)
+	}
+	// Instruction i of the block issues at c.at + i*period and, like precise
+	// stepping, executes iff that start time is <= limit. The division only
+	// runs when the block straddles the quantum boundary.
+	if c.at+sim.Time(n-1)*period > limit {
+		n = int(int64((limit-c.at)/period)) + 1
+	}
+	execALUBlock(&c.regs, c.dec[pc:pc+n])
+	nt := sim.Time(n) * period
+	c.at += nt
+	c.stats.BusyTime += nt
+	c.stats.Instructions += int64(n)
+	c.stats.ByClass[isa.ClassALU] += int64(n)
+	return pc + n
+}
+
+// execALUBlock executes a straight run of ALU instructions against the
+// register file, with no timing or stats side effects (callers accumulate
+// those in bulk). The op switch mirrors Core.alu (kept in sync); avoiding a
+// call per instruction is the interpreter's single hottest saving.
+func execALUBlock(regs *[32]uint32, block []decoded) {
+	for i := range block {
+		in := &block[i]
+		if in.rd == 0 {
+			continue // ALU ops have no side effects beyond rd
+		}
+		a := regs[in.rs1]
+		b := regs[in.rs2]
+		var v uint32
+		switch in.op {
+		case isa.OpAdd:
+			v = a + b
+		case isa.OpSub:
+			v = a - b
+		case isa.OpAnd:
+			v = a & b
+		case isa.OpOr:
+			v = a | b
+		case isa.OpXor:
+			v = a ^ b
+		case isa.OpSll:
+			v = a << (b & 31)
+		case isa.OpSrl:
+			v = a >> (b & 31)
+		case isa.OpSra:
+			v = uint32(int32(a) >> (b & 31))
+		case isa.OpSlt:
+			if int32(a) < int32(b) {
+				v = 1
+			}
+		case isa.OpSltu:
+			if a < b {
+				v = 1
+			}
+		case isa.OpAddi:
+			v = a + in.uimm
+		case isa.OpAndi:
+			v = a & in.uimm
+		case isa.OpOri:
+			v = a | in.uimm
+		case isa.OpXori:
+			v = a ^ in.uimm
+		case isa.OpSlli:
+			v = a << (in.uimm & 31)
+		case isa.OpSrli:
+			v = a >> (in.uimm & 31)
+		case isa.OpSrai:
+			v = uint32(int32(a) >> (in.uimm & 31))
+		case isa.OpSlti:
+			if int32(a) < in.imm {
+				v = 1
+			}
+		case isa.OpSltiu:
+			if a < in.uimm {
+				v = 1
+			}
+		case isa.OpLui:
+			v = in.uimm << 12
+		}
+		regs[in.rd] = v
+	}
+}
+
+// loopExit reports how a fused loop execution ended.
+type loopExit int
+
+const (
+	// loopNoProgress: no instruction ran (stream budget or instruction
+	// budget short at iteration entry); the caller must fall back to
+	// per-instruction stepping to guarantee forward progress.
+	loopNoProgress loopExit = iota
+	// loopProgress: >= 1 instruction ran; c.pc/c.at/stats are committed.
+	loopProgress
+	// loopBlockedExit: a load/store blocked mid-iteration (c.blockKind set,
+	// c.pc at the blocked instruction), after possibly running instructions.
+	loopBlockedExit
+	// loopHaltedExit: the program halted (cleanly or by error).
+	loopHaltedExit
+)
+
+// runLoop executes iterations of a recognized loop body while (a) the local
+// clock has not passed limit, (b) the instruction budget admits a full
+// iteration, and (c) BulkAvail/window-room pre-checks prove the iteration's
+// stream operations cannot block. Under (c), every StreamLoad/Peek resolves
+// at its issue time (the needed bytes were usable at iteration entry, and
+// availability is monotone), so stream ops bypass the memhier wrappers while
+// accruing the identical timing: busy one cycle plus StreamExtraCycles of
+// stream-wait (in) or out-full (out) stall. Loads and stores still go
+// through memhier.System — their timing is stateful (caches, DRAM) — and the
+// per-instruction limit check inside the body reproduces precise stepping's
+// stop-at-quantum behavior exactly.
+func (c *Core) runLoop(li *loopInfo, limit sim.Time) loopExit {
+	sys := c.sys
+	if sys.Streams == nil && (len(li.ins) > 0 || len(li.outs) > 0) {
+		return loopNoProgress
+	}
+	for _, sn := range li.ins {
+		if sn.slot >= len(sys.Streams.In) {
+			return loopNoProgress // slow path raises the precise error
+		}
+	}
+	for _, sn := range li.outs {
+		if sn.slot >= len(sys.Streams.Out) {
+			return loopNoProgress
+		}
+	}
+	period := c.cfg.Clock.Period
+	var extra sim.Time
+	if sys.StreamExtraCycles > 0 {
+		extra = sys.Clock.Cycles(int64(sys.StreamExtraCycles))
+	}
+	// Hoisted slice headers: the compiler cannot cache them across the
+	// opaque calls below, and both index on every instruction.
+	dec := c.dec
+	aluRun := c.aluRun
+	progress := false
+
+	// Pure-ALU loops with a free back-edge have identical iterations: batch
+	// every full iteration that fits the quantum and instruction budget in
+	// one pass, then let the generic loop below run the partial tail with
+	// per-instruction limit checks. Iteration m's jal issues at
+	// c.at + n*m*period, so m full iterations fit iff n*m*period stays
+	// within the quantum.
+	if li.pureALU && c.jumpCycles == 0 {
+		n := int64(li.end - li.head)
+		m := int64(limit-c.at) / int64(period) / n
+		if rem := (c.maxInsts - c.stats.Instructions) / (n + 1); m > rem {
+			m = rem
+		}
+		if m > 0 {
+			block := dec[li.head:li.end]
+			regs := &c.regs
+			for it := int64(0); it < m; it++ {
+				execALUBlock(regs, block)
+			}
+			nt := sim.Time(n*m) * period
+			c.at += nt
+			c.stats.BusyTime += nt
+			c.stats.Instructions += (n + 1) * m
+			c.stats.ByClass[isa.ClassALU] += n * m
+			c.stats.ByClass[isa.ClassJump] += m
+			progress = true
+		}
+	}
+
+iterations:
+	for c.at <= limit {
+		if c.stats.Instructions+li.bodyLen > c.maxInsts {
+			break
+		}
+		for _, sn := range li.ins {
+			if sys.Streams.In[sn.slot].BulkAvail(c.at) < sn.need {
+				break iterations
+			}
+		}
+		for _, sn := range li.outs {
+			st := sys.Streams.Out[sn.slot]
+			if int64(st.WindowBytes()-st.Buffered()) < sn.need {
+				break iterations
+			}
+		}
+		vpc := li.head
+		for {
+			if c.at > limit {
+				c.pc = vpc
+				return loopProgress
+			}
+			in := &dec[vpc]
+			t0 := c.at
+			switch in.class {
+			case isa.ClassALU:
+				if n := aluRun[vpc]; n > 1 {
+					vpc = c.runALUBlock(vpc, int(n), limit)
+					progress = true
+					continue
+				}
+				c.setReg(in.rd, c.alu(in))
+				vpc++
+				c.retireCycles(t0, 1)
+
+			case isa.ClassMul:
+				c.setReg(in.rd, c.mul(in))
+				vpc++
+				c.retireCycles(t0, c.cfg.MulCycles)
+
+			case isa.ClassDiv:
+				c.setReg(in.rd, c.div(in))
+				vpc++
+				c.retireCycles(t0, c.cfg.DivCycles)
+
+			case isa.ClassLoad:
+				addr := c.regs[in.rs1] + in.uimm
+				size := int(in.size)
+				r, err := sys.Load(t0, addr, size, uint32(vpc))
+				if err != nil {
+					c.pc = vpc
+					c.fail(err)
+					return loopHaltedExit
+				}
+				if r.Status == memhier.LoadBlocked {
+					c.blockKind = StallStreamWait
+					c.pc = vpc
+					return loopBlockedExit
+				}
+				v := r.Value
+				if in.signed {
+					v = signExtendVal(v, size)
+				}
+				c.setReg(in.rd, v)
+				c.stats.LoadBytes += int64(size)
+				vpc++
+				c.retire(t0, r.Done, c.loadStallKind(addr))
+
+			case isa.ClassStore:
+				addr := c.regs[in.rs1] + in.uimm
+				size := int(in.size)
+				r, err := sys.Store(t0, addr, size, c.regs[in.rs2], uint32(vpc))
+				if err != nil {
+					c.pc = vpc
+					c.fail(err)
+					return loopHaltedExit
+				}
+				if r.Status == memhier.LoadBlocked {
+					c.blockKind = StallOutFull
+					c.pc = vpc
+					return loopBlockedExit
+				}
+				c.stats.StoreBytes += int64(size)
+				vpc++
+				c.retire(t0, r.Done, StallMem)
+
+			case isa.ClassBranch:
+				var cycles int
+				if c.branch(in) {
+					vpc += int(in.imm)
+					cycles = c.takenCycles
+				} else {
+					vpc++
+					cycles = c.notTakenCycles
+				}
+				if cycles > 0 {
+					c.retireCycles(t0, cycles)
+				}
+
+			case isa.ClassJump: // OpJal only (validated by buildLoop)
+				link := uint32(vpc + 1)
+				vpc += int(in.imm)
+				c.setReg(in.rd, link)
+				if c.jumpCycles > 0 {
+					c.retireCycles(t0, c.jumpCycles)
+				}
+
+			case isa.ClassStreamLoad:
+				st := sys.Streams.In[in.stream]
+				var v uint32
+				if in.op == isa.OpStreamLoad {
+					v = st.LoadDirect(int(in.width))
+					c.stats.StreamInBytes += int64(in.width)
+				} else {
+					v = st.PeekDirect(int64(in.imm), int(in.width))
+				}
+				c.setReg(in.rd, v)
+				vpc++
+				c.stats.BusyTime += period
+				if extra > 0 {
+					c.stats.StallTime[StallStreamWait] += extra
+				}
+				c.at = t0 + extra + period
+
+			case isa.ClassStreamStore:
+				st := sys.Streams.Out[in.stream]
+				st.Append(c.regs[in.rs2], int(in.width))
+				c.stats.StreamOutBytes += int64(in.width)
+				vpc++
+				c.stats.BusyTime += period
+				if extra > 0 {
+					c.stats.StallTime[StallOutFull] += extra
+				}
+				c.at = t0 + extra + period
+
+			case isa.ClassStreamCtl:
+				switch in.op {
+				case isa.OpStreamAdv:
+					st := sys.Streams.In[in.stream]
+					if err := st.Adv(int64(in.imm) * int64(in.width)); err != nil {
+						c.pc = vpc
+						c.fail(err)
+						return loopHaltedExit
+					}
+				case isa.OpStreamEnd:
+					st := sys.Streams.In[in.stream]
+					var v uint32
+					if st.Exhausted() {
+						v = 1
+					}
+					c.setReg(in.rd, v)
+				default: // OpStreamCsrR, imm in {0,1} (validated)
+					st := sys.Streams.In[in.stream]
+					if in.imm == 0 {
+						c.setReg(in.rd, uint32(st.Head()))
+					} else {
+						c.setReg(in.rd, uint32(st.Tail()))
+					}
+				}
+				vpc++
+				c.retireCycles(t0, 1)
+
+			case isa.ClassHalt:
+				c.halted = true
+				c.at = t0 + period
+				c.stats.BusyTime += period
+				c.stats.Instructions++
+				c.stats.ByClass[isa.ClassHalt]++
+				c.pc = vpc
+				return loopHaltedExit
+			}
+			c.stats.Instructions++
+			c.stats.ByClass[in.class]++
+			progress = true
+			if vpc == li.head {
+				continue iterations
+			}
+			if vpc < li.head || vpc > li.end {
+				c.pc = vpc // a forward branch left the body
+				return loopProgress
+			}
+		}
+	}
+	c.pc = li.head
+	if progress {
+		return loopProgress
+	}
+	return loopNoProgress
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"assasin/internal/cpu"
 	"assasin/internal/firmware"
 	"assasin/internal/kernels"
 	"assasin/internal/sim"
@@ -96,6 +97,11 @@ type runOpts struct {
 	// windowPages overrides the per-slot input window depth (0 = arch
 	// default). Single-stream workloads may use the whole ISB capacity.
 	windowPages int
+	// exec selects the interpreter strategy (default cpu.ExecFused); the
+	// equivalence soak runs both modes and demands identical results.
+	exec cpu.ExecMode
+	// coreQuantum overrides the per-core scheduler quantum (0 = default).
+	coreQuantum sim.Time
 }
 
 // runResult is one run's measurements.
@@ -115,6 +121,8 @@ func runStandalone(o runOpts) (*runResult, error) {
 		Cores:          o.cores,
 		TimingAdjusted: o.adjusted,
 		WindowPages:    o.windowPages,
+		Exec:           o.exec,
+		CoreQuantum:    o.coreQuantum,
 	})
 	var lpaLists [][]int
 	var lengths []int64

@@ -451,6 +451,9 @@ func (d *drainer) pump(now sim.Time) {
 			// targets that is the bus-transfer completion, for DRAM targets
 			// the DRAM write completion.
 			var freedAt sim.Time
+			// data aliases the stream's scratch buffer and is only valid
+			// until the Drain call below; flash.Array.Write copies the page
+			// into its own store and the DRAM path never retains it.
 			data := d.stream.PeekBytes(n)
 			switch d.target.Kind {
 			case OutToFlash:
@@ -466,6 +469,8 @@ func (d *drainer) pump(now sim.Time) {
 			default:
 				freedAt = now
 			}
+			// drained also aliases the scratch buffer (and overwrote data
+			// above); append copies it out before the next Peek/Drain.
 			drained := d.stream.Drain(n, freedAt)
 			if d.target.Collect {
 				d.collected = append(d.collected, drained...)

@@ -70,18 +70,34 @@ type blockState struct {
 	filled int  // pages programmed (write pointer)
 }
 
+// pageChunk is the lazy-allocation unit of the L2P/P2L tables. Devices are
+// sized in the hundreds of thousands of pages while most runs map a few
+// thousand, so flat pre-initialized tables dominated SSD construction cost
+// (and GC pressure) in whole-experiment sweeps; chunks materialize only for
+// touched regions of the address spaces.
+const pageChunk = 1 << 12
+
+// freeBlocks is the free set of one (channel, chip) pair: a dense
+// bool-per-block slice with a count, cheaper to build and scan than the
+// map it replaces (chips have only a few hundred blocks).
+type freeBlocks struct {
+	isFree []bool
+	n      int
+}
+
 // FTL is the flash translation layer over one flash.Array.
 type FTL struct {
 	arr    *flash.Array
 	cfg    flash.Config
 	policy Policy
 
-	l2p []flash.PPA // logical -> physical; Page == -1 means unmapped
-	p2l []int       // physical page index -> lpa (-1 invalid)
+	total int           // device pages (logical and physical spaces)
+	l2p   [][]flash.PPA // chunked logical -> physical; nil chunk or Page == -1 means unmapped
+	p2l   [][]int       // chunked physical page index -> lpa; nil chunk or -1 invalid
 
 	blocks map[blockID]*blockState
 	// free blocks per (channel, chip)
-	free [][]map[int]bool
+	free [][]freeBlocks
 	// openBlock per (channel, chip): the block receiving writes
 	open [][]int
 
@@ -115,33 +131,77 @@ func New(arr *flash.Array, policy Policy) *FTL {
 		policy = StripedPolicy{}
 	}
 	total := arr.TotalPages()
+	chunks := (total + pageChunk - 1) / pageChunk
 	f := &FTL{
 		arr:         arr,
 		cfg:         cfg,
 		policy:      policy,
-		l2p:         make([]flash.PPA, total),
-		p2l:         make([]int, total),
+		total:       total,
+		l2p:         make([][]flash.PPA, chunks),
+		p2l:         make([][]int, chunks),
 		blocks:      make(map[blockID]*blockState),
 		GCThreshold: 2,
 	}
-	for i := range f.l2p {
-		f.l2p[i].Page = -1
-		f.p2l[i] = -1
-	}
-	f.free = make([][]map[int]bool, cfg.Channels)
+	f.free = make([][]freeBlocks, cfg.Channels)
 	f.open = make([][]int, cfg.Channels)
 	for c := 0; c < cfg.Channels; c++ {
-		f.free[c] = make([]map[int]bool, cfg.ChipsPerChannel)
+		f.free[c] = make([]freeBlocks, cfg.ChipsPerChannel)
 		f.open[c] = make([]int, cfg.ChipsPerChannel)
 		for d := 0; d < cfg.ChipsPerChannel; d++ {
-			f.free[c][d] = make(map[int]bool, cfg.BlocksPerChip)
-			for b := 0; b < cfg.BlocksPerChip; b++ {
-				f.free[c][d][b] = true
+			fb := &f.free[c][d]
+			fb.isFree = make([]bool, cfg.BlocksPerChip)
+			for b := range fb.isFree {
+				fb.isFree[b] = true
 			}
+			fb.n = cfg.BlocksPerChip
 			f.open[c][d] = -1
 		}
 	}
 	return f
+}
+
+// l2pAt returns the mapping of lpa (Page < 0 when unmapped).
+func (f *FTL) l2pAt(lpa int) flash.PPA {
+	if c := f.l2p[lpa/pageChunk]; c != nil {
+		return c[lpa%pageChunk]
+	}
+	return flash.PPA{Page: -1}
+}
+
+// l2pSet stores the mapping of lpa, materializing its chunk.
+func (f *FTL) l2pSet(lpa int, ppa flash.PPA) {
+	ci := lpa / pageChunk
+	c := f.l2p[ci]
+	if c == nil {
+		c = make([]flash.PPA, pageChunk)
+		for i := range c {
+			c[i].Page = -1
+		}
+		f.l2p[ci] = c
+	}
+	c[lpa%pageChunk] = ppa
+}
+
+// p2lAt returns the lpa mapped to physical page index idx (-1 when none).
+func (f *FTL) p2lAt(idx int) int {
+	if c := f.p2l[idx/pageChunk]; c != nil {
+		return c[idx%pageChunk]
+	}
+	return -1
+}
+
+// p2lSet stores the reverse mapping of physical page index idx.
+func (f *FTL) p2lSet(idx, lpa int) {
+	ci := idx / pageChunk
+	c := f.p2l[ci]
+	if c == nil {
+		c = make([]int, pageChunk)
+		for i := range c {
+			c[i] = -1
+		}
+		f.p2l[ci] = c
+	}
+	c[idx%pageChunk] = lpa
 }
 
 // Array returns the underlying flash array.
@@ -156,10 +216,13 @@ func (f *FTL) UserPages() int { return f.arr.TotalPages() * 7 / 8 }
 
 // Lookup returns the physical address of lpa.
 func (f *FTL) Lookup(lpa int) (flash.PPA, bool) {
-	if lpa < 0 || lpa >= len(f.l2p) || f.l2p[lpa].Page < 0 {
+	if lpa < 0 || lpa >= f.total {
 		return flash.PPA{}, false
 	}
-	return f.l2p[lpa], true
+	if ppa := f.l2pAt(lpa); ppa.Page >= 0 {
+		return ppa, true
+	}
+	return flash.PPA{}, false
 }
 
 func (f *FTL) ppaIndex(p flash.PPA) int {
@@ -173,9 +236,13 @@ func (f *FTL) ppaIndex(p flash.PPA) int {
 func (f *FTL) pickFreeBlock(channel, chip int) (int, error) {
 	best := -1
 	var bestWear int64
-	for b := range f.free[channel][chip] {
+	fb := &f.free[channel][chip]
+	for b, free := range fb.isFree {
+		if !free {
+			continue
+		}
 		w := f.arr.EraseCount(channel, chip, b)
-		if best == -1 || w < bestWear || (w == bestWear && b < best) {
+		if best == -1 || w < bestWear {
 			best = b
 			bestWear = w
 		}
@@ -183,7 +250,8 @@ func (f *FTL) pickFreeBlock(channel, chip int) (int, error) {
 	if best == -1 {
 		return 0, fmt.Errorf("ftl: no free block on ch%d/chip%d", channel, chip)
 	}
-	delete(f.free[channel][chip], best)
+	fb.isFree[best] = false
+	fb.n--
 	return best, nil
 }
 
@@ -250,7 +318,7 @@ func (f *FTL) write(at sim.Time, lpa int, data []byte, gc bool) (busDone, progDo
 	} else {
 		f.stats.HostWrites++
 	}
-	if len(f.free[channel][chip]) <= f.GCThreshold {
+	if f.free[channel][chip].n <= f.GCThreshold {
 		if err := f.collect(at, channel, chip); err != nil {
 			return 0, 0, err
 		}
@@ -280,14 +348,14 @@ func (f *FTL) Install(lpa int, data []byte) error {
 
 func (f *FTL) commitMapping(lpa int, ppa flash.PPA) {
 	// Invalidate the old physical page.
-	if old := f.l2p[lpa]; old.Page >= 0 {
+	if old := f.l2pAt(lpa); old.Page >= 0 {
 		if st := f.blocks[blockID{old.Channel, old.Chip, old.Block}]; st != nil {
 			st.valid--
 		}
-		f.p2l[f.ppaIndex(old)] = -1
+		f.p2lSet(f.ppaIndex(old), -1)
 	}
-	f.l2p[lpa] = ppa
-	f.p2l[f.ppaIndex(ppa)] = lpa
+	f.l2pSet(lpa, ppa)
+	f.p2lSet(f.ppaIndex(ppa), lpa)
 	st := f.blocks[blockID{ppa.Channel, ppa.Chip, ppa.Block}]
 	st.valid++
 	st.filled++
@@ -331,7 +399,7 @@ func (f *FTL) collect(at sim.Time, channel, chip int) error {
 	// Migrate valid pages.
 	base := f.ppaIndex(flash.PPA{Channel: channel, Chip: chip, Block: victim})
 	for pg := 0; pg < f.cfg.PagesPerBlock; pg++ {
-		lpa := f.p2l[base+pg]
+		lpa := f.p2lAt(base + pg)
 		if lpa < 0 {
 			continue
 		}
@@ -348,12 +416,14 @@ func (f *FTL) collect(at sim.Time, channel, chip int) error {
 	}
 	f.stats.Erases++
 	delete(f.blocks, blockID{channel, chip, victim})
-	f.free[channel][chip][victim] = true
+	fb := &f.free[channel][chip]
+	fb.isFree[victim] = true
+	fb.n++
 	return nil
 }
 
 // FreeBlocks returns the free-block count on (channel, chip).
-func (f *FTL) FreeBlocks(channel, chip int) int { return len(f.free[channel][chip]) }
+func (f *FTL) FreeBlocks(channel, chip int) int { return f.free[channel][chip].n }
 
 // ChannelPageCounts returns, for a set of logical pages, how many map to
 // each channel — the D_i distribution of the skew study.

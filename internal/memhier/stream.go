@@ -131,11 +131,98 @@ func (s *InStream) byteAt(off int64) byte {
 }
 
 func (s *InStream) gather(off int64, width int) uint32 {
+	pos := int(off % int64(s.capBytes))
+	if pos+width <= s.capBytes {
+		// Width-specialized little-endian loads: the compiler fuses each
+		// run of byte ORs into a single load, and StreamLoad traffic is
+		// almost entirely 1/2/4-byte words.
+		r := s.ring[pos:]
+		switch width {
+		case 4:
+			if len(r) >= 4 {
+				return uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
+			}
+		case 1:
+			if len(r) >= 1 {
+				return uint32(r[0])
+			}
+		case 2:
+			if len(r) >= 2 {
+				return uint32(r[0]) | uint32(r[1])<<8
+			}
+		}
+		var v uint32
+		for i := 0; i < width; i++ {
+			v |= uint32(s.ring[pos+i]) << (8 * i)
+		}
+		return v
+	}
 	var v uint32
 	for i := 0; i < width; i++ {
 		v |= uint32(s.byteAt(off+int64(i))) << (8 * i)
 	}
 	return v
+}
+
+// BulkAvail returns how many buffered bytes past Head are usable at time at:
+// the window the fused interpreter may consume without ever stalling on an
+// in-flight page. Availability segments are per-page (not per-byte), and
+// their At times are monotone, so one forward walk from the trim point
+// suffices.
+func (s *InStream) BulkAvail(at sim.Time) int64 {
+	end := s.consumed
+	for i := s.availHead; i < len(s.avail); i++ {
+		if s.avail[i].At > at {
+			break
+		}
+		end = s.avail[i].End
+	}
+	if end > s.delivered {
+		end = s.delivered
+	}
+	return end - s.consumed
+}
+
+// CopyOut copies up to len(dst) delivered bytes starting at absolute stream
+// offset off into dst without consuming them, returning the count copied.
+// It is the bulk (memcpy) counterpart of per-word Peek for firmware-side and
+// test consumers; availability times are the caller's concern.
+func (s *InStream) CopyOut(dst []byte, off int64) int {
+	if off < s.consumed {
+		off = s.consumed
+	}
+	n := int(s.delivered - off)
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	pos := int(off % int64(s.capBytes))
+	c := copy(dst[:n], s.ring[pos:])
+	copy(dst[c:n], s.ring)
+	return n
+}
+
+// LoadDirect consumes width bytes at Head and returns the little-endian
+// value, bypassing the availability scan. The caller (the fused-execution
+// loop path in internal/cpu) must have already established via BulkAvail
+// that the bytes are buffered and usable at the access time; the consume
+// side effects (trim, OnFree) match Load exactly.
+func (s *InStream) LoadDirect(width int) uint32 {
+	v := s.gather(s.consumed, width)
+	s.consumed += int64(width)
+	s.trimAvail()
+	if s.OnFree != nil {
+		s.OnFree()
+	}
+	return v
+}
+
+// PeekDirect reads width bytes at Head+off without consuming, bypassing the
+// availability scan; the same BulkAvail precondition as LoadDirect applies.
+func (s *InStream) PeekDirect(off int64, width int) uint32 {
+	return s.gather(s.consumed+off, width)
 }
 
 func (s *InStream) trimAvail() {
@@ -222,6 +309,7 @@ type OutStream struct {
 
 	appended int64
 	drained  int64
+	scratch  []byte // reused by PeekBytes/Drain; see the aliasing contract there
 
 	// OnData, if set, is called when bytes are appended (the firmware uses
 	// it to schedule drains).
@@ -264,8 +352,15 @@ func (s *OutStream) Append(v uint32, width int) bool {
 	if !s.CanAppend(width) {
 		return false
 	}
-	for i := 0; i < width; i++ {
-		s.ring[(s.appended+int64(i))%int64(s.capBytes)] = byte(v >> (8 * i))
+	pos := int(s.appended % int64(s.capBytes))
+	if pos+width <= s.capBytes {
+		for i := 0; i < width; i++ {
+			s.ring[pos+i] = byte(v >> (8 * i))
+		}
+	} else {
+		for i := 0; i < width; i++ {
+			s.ring[(s.appended+int64(i))%int64(s.capBytes)] = byte(v >> (8 * i))
+		}
 	}
 	s.appended += int64(width)
 	if s.OnData != nil {
@@ -274,14 +369,15 @@ func (s *OutStream) Append(v uint32, width int) bool {
 	return true
 }
 
-// AppendBytes appends a byte slice (used by non-ISA producers in tests).
-func (s *OutStream) AppendBytes(data []byte) bool {
+// BulkAppend appends a byte slice with at most two copies (ring wrap),
+// replacing the per-byte modulo walk for page-sized producers.
+func (s *OutStream) BulkAppend(data []byte) bool {
 	if !s.CanAppend(len(data)) {
 		return false
 	}
-	for i, b := range data {
-		s.ring[(s.appended+int64(i))%int64(s.capBytes)] = b
-	}
+	pos := int(s.appended % int64(s.capBytes))
+	n := copy(s.ring[pos:], data)
+	copy(s.ring, data[n:])
 	s.appended += int64(len(data))
 	if s.OnData != nil {
 		s.OnData()
@@ -289,8 +385,30 @@ func (s *OutStream) AppendBytes(data []byte) bool {
 	return true
 }
 
+// AppendBytes appends a byte slice (used by non-ISA producers in tests).
+func (s *OutStream) AppendBytes(data []byte) bool {
+	return s.BulkAppend(data)
+}
+
+// peekInto copies n buffered bytes from the Head into the shared scratch
+// buffer (growing it as needed) and returns the filled prefix.
+func (s *OutStream) peekInto(n int) []byte {
+	if n > len(s.scratch) {
+		s.scratch = make([]byte, n)
+	}
+	out := s.scratch[:n]
+	pos := int(s.drained % int64(s.capBytes))
+	c := copy(out, s.ring[pos:])
+	copy(out[c:], s.ring)
+	return out
+}
+
 // PeekBytes returns up to n buffered bytes without draining them — the
 // firmware uses it to issue the flash/DRAM write before freeing the window.
+//
+// Aliasing contract: the returned slice is a view of a scratch buffer owned
+// by the stream; it is valid only until the next PeekBytes or Drain call on
+// this stream. Callers that need the bytes beyond that must copy them.
 func (s *OutStream) PeekBytes(n int) []byte {
 	if n > s.Buffered() {
 		n = s.Buffered()
@@ -298,15 +416,13 @@ func (s *OutStream) PeekBytes(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.ring[(s.drained+int64(i))%int64(s.capBytes)]
-	}
-	return out
+	return s.peekInto(n)
 }
 
 // Drain removes up to n buffered bytes and returns them; at is when the
-// space is freed (propagated to a stalled producer via OnSpace).
+// space is freed (propagated to a stalled producer via OnSpace). The same
+// aliasing contract as PeekBytes applies: the result shares the stream's
+// scratch buffer and is invalidated by the next PeekBytes/Drain call.
 func (s *OutStream) Drain(n int, at sim.Time) []byte {
 	if n > s.Buffered() {
 		n = s.Buffered()
@@ -314,10 +430,7 @@ func (s *OutStream) Drain(n int, at sim.Time) []byte {
 	if n <= 0 {
 		return nil
 	}
-	out := make([]byte, n)
-	for i := 0; i < n; i++ {
-		out[i] = s.ring[(s.drained+int64(i))%int64(s.capBytes)]
-	}
+	out := s.peekInto(n)
 	s.drained += int64(n)
 	if s.OnSpace != nil {
 		s.OnSpace(at)

@@ -1,0 +1,57 @@
+// Package profiling backs the -cpuprofile/-memprofile flags of the
+// commands. It exists so both binaries share the exit-path discipline:
+// the commands terminate through os.Exit (which skips defers), so every
+// exit site must call the returned stop function explicitly before
+// exiting for the profiles to be complete and parseable.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finalizes the CPU profile and, when memPath is non-empty,
+// writes an allocs heap profile (after a GC, so live-heap numbers are
+// accurate). The stop function is idempotent: commands call it both from
+// their normal return path and from error exits.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+		}
+		f.Close()
+	}, nil
+}

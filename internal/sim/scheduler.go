@@ -57,6 +57,7 @@ type procEntry struct {
 	p       Process
 	local   Time
 	readyAt Time
+	quantum Time // per-process run quantum; 0 = scheduler default
 	done    bool
 }
 
@@ -71,8 +72,9 @@ type Scheduler struct {
 
 	Events EventQueue
 
-	procs []*procEntry
-	index map[Process]*procEntry
+	procs  []*procEntry
+	index  map[Process]*procEntry
+	quanta map[Process]Time // per-process quanta, also for not-yet-added procs
 }
 
 // NewScheduler returns a scheduler with the default quantum.
@@ -89,9 +91,29 @@ func (s *Scheduler) Add(p Process) {
 		e.readyAt = e.local
 		return
 	}
-	e := &procEntry{p: p}
+	e := &procEntry{p: p, quantum: s.quanta[p]}
 	s.procs = append(s.procs, e)
 	s.index[p] = e
+}
+
+// SetQuantum gives process p a private run quantum in place of the
+// scheduler-wide Quantum (0 restores the default). A larger quantum lets a
+// core that just received a large stream window burn through it in fewer
+// scheduler round-trips; it is only safe to raise for processes whose
+// shared-resource access order is insensitive to coarser interleaving (e.g.
+// stream-ISA cores that never touch the shared DRAM). The setting survives
+// re-Adds of the same process across offload requests.
+func (s *Scheduler) SetQuantum(p Process, q Time) {
+	if q < 0 {
+		q = 0
+	}
+	if s.quanta == nil {
+		s.quanta = make(map[Process]Time)
+	}
+	s.quanta[p] = q
+	if e, ok := s.index[p]; ok {
+		e.quantum = q
+	}
 }
 
 // Wake makes a waiting process runnable no later than t. Waking an unknown
@@ -180,7 +202,11 @@ func (s *Scheduler) Run(deadline Time) (Time, error) {
 		if next.readyAt > next.local {
 			next.local = next.readyAt // the process was stalled; jump forward
 		}
-		limit := MinT(next.local+s.Quantum, deadline)
+		q := next.quantum
+		if q <= 0 {
+			q = s.Quantum
+		}
+		limit := MinT(next.local+q, deadline)
 		local, state, wake := next.p.Run(limit)
 		if local < next.local {
 			local = next.local

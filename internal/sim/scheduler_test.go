@@ -186,3 +186,87 @@ func TestSchedulerNowAcrossProcesses(t *testing.T) {
 		t.Errorf("Now = %v, want 100 (max done time)", s.Now())
 	}
 }
+
+// limitProc records the limit passed to each Run call, advancing by step
+// until done — the observable effect of per-process quanta.
+type limitProc struct {
+	name   string
+	step   Time
+	n      int
+	local  Time
+	limits []Time
+}
+
+func (p *limitProc) Name() string { return p.name }
+
+func (p *limitProc) Run(limit Time) (Time, RunState, Time) {
+	p.limits = append(p.limits, limit)
+	for p.n > 0 && p.local+p.step <= limit {
+		p.local += p.step
+		p.n--
+	}
+	if p.n == 0 {
+		return p.local, StateDone, 0
+	}
+	return p.local, StateReady, 0
+}
+
+func TestSchedulerPerProcessQuantum(t *testing.T) {
+	s := NewScheduler()
+	s.Quantum = 10
+	wide := &limitProc{name: "wide", step: 1, n: 100}
+	dflt := &limitProc{name: "dflt", step: 1, n: 100}
+	s.Add(wide)
+	s.Add(dflt)
+	s.SetQuantum(wide, 50)
+	if _, err := s.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	// wide gets 50-unit slices (2 full runs + a spill); dflt 10-unit slices.
+	if len(wide.limits) >= len(dflt.limits) {
+		t.Fatalf("wide ran %d times, dflt %d times; larger quantum should need fewer runs",
+			len(wide.limits), len(dflt.limits))
+	}
+	if got := wide.limits[0]; got != 50 {
+		t.Errorf("wide first limit = %v, want 50", got)
+	}
+	if got := dflt.limits[0]; got != 10 {
+		t.Errorf("dflt first limit = %v, want 10", got)
+	}
+}
+
+func TestSchedulerQuantumSurvivesReAdd(t *testing.T) {
+	s := NewScheduler()
+	s.Quantum = 10
+	p := &limitProc{name: "p", step: 1, n: 5}
+	s.SetQuantum(p, 25) // set before the process was ever added
+	s.Add(p)
+	if _, err := s.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.limits[0]; got != 25 {
+		t.Fatalf("first limit = %v, want 25", got)
+	}
+	// Re-Add (a second offload on the same core process): the entry resumes
+	// from its prior local time (5) and keeps the private quantum.
+	p.n = 5
+	p.limits = nil
+	s.Add(p)
+	if _, err := s.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.limits[0]; got != 5+25 {
+		t.Fatalf("limit after re-Add = %v, want 30 (local 5 + quantum 25)", got)
+	}
+	// Negative restores the scheduler default (local is now 10).
+	s.SetQuantum(p, -1)
+	p.n = 5
+	p.limits = nil
+	s.Add(p)
+	if _, err := s.Run(MaxTime); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.limits[0]; got != 10+10 {
+		t.Fatalf("limit after reset = %v, want 20 (local 10 + default quantum 10)", got)
+	}
+}

@@ -113,6 +113,17 @@ type Options struct {
 	WindowPages int
 	// OutWindowPages sizes the per-slot output window.
 	OutWindowPages int
+	// Exec selects the core interpreter strategy: cpu.ExecFused (default)
+	// runs basic blocks and recognized stream loops as macro-steps with
+	// byte-identical results; cpu.ExecPrecise forces per-instruction
+	// stepping for debugging.
+	Exec cpu.ExecMode
+	// CoreQuantum, when > 0, gives compute cores a private scheduler run
+	// quantum in place of the global default (1 µs). Larger quanta reduce
+	// scheduler round-trips per stream window at the cost of coarser
+	// event interleaving; results stay deterministic and are identical
+	// across Exec modes for any fixed value.
+	CoreQuantum sim.Time
 }
 
 // DefaultFlashConfig is the evaluation geometry: 8 channels × 1 GB/s,
@@ -224,6 +235,7 @@ func New(opt Options) *SSD {
 				ScratchpadBytes:  64 << 10,
 				ScratchpadCycles: 1,
 				WithCache:        opt.Arch == AssasinSbCache,
+				Exec:             opt.Exec,
 			}
 			if opt.Arch == AssasinSp {
 				ccfg.ScratchpadCycles = spCycles
@@ -268,12 +280,16 @@ func New(opt Options) *SSD {
 			ccfg := cpu.DefaultConfig(name)
 			ccfg.Clock = coreClock
 			ccfg.BranchFree = opt.Arch == UDP
+			ccfg.Exec = opt.Exec
 			eng = cpu.New(ccfg, sys)
 		}
 
 		// Output windows may differ in depth from input windows.
 		for j := range sys.Streams.Out {
 			sys.Streams.Out[j] = memhier.NewOutStream(opt.OutWindowPages, opt.Flash.PageSize)
+		}
+		if opt.CoreQuantum > 0 {
+			s.Sched.SetQuantum(eng, opt.CoreQuantum)
 		}
 		s.Cores = append(s.Cores, eng)
 		s.Systems = append(s.Systems, sys)

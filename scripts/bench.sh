@@ -1,0 +1,14 @@
+#!/bin/sh
+# Captures the repo's benchmark baselines into bench/:
+#   - BENCH_micro.txt: tier-2 micro benchmarks (interpreter, stream buffer,
+#     cache, DRAM paths), 5 samples each for benchstat-able comparisons.
+#   - BENCH_<exp>.json: every whole-experiment artifact at the quick scale,
+#     via assasin-bench -json (simulated results are scale-invariant ratios;
+#     wall_seconds tracks simulator performance).
+# Run from anywhere; writes relative to the repo root. Compare a working
+# tree against the committed baselines with benchstat or git diff.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p bench
+go test ./internal/cpu/ ./internal/memhier/ -run '^$' -bench . -benchmem -count 5 | tee bench/BENCH_micro.txt
+go run ./cmd/assasin-bench -quick -verify -exp all -json bench
