@@ -1,6 +1,6 @@
 # Convenience entry points; every target is plain go tooling underneath.
 
-.PHONY: all build test race bench bench-baseline
+.PHONY: all build test race bench bench-baseline bench-compare ci
 
 all: test
 
@@ -10,9 +10,18 @@ build:
 test: build
 	go test ./...
 
-# The data-race gate for the packages the fused interpreter touches.
+# The data-race gate for the packages the fused interpreter touches, plus
+# the telemetry sink (documented single-threaded; the race gate catches
+# accidental sharing from tests).
 race:
-	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/...
+	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/...
+
+# The full continuous-integration gate (mirrored by the GitHub workflow).
+ci:
+	go vet ./...
+	go build ./...
+	go test ./...
+	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/...
 
 # Quick micro-benchmark pass (3 samples; use bench-baseline for the
 # committed 5-sample baselines).
@@ -23,3 +32,8 @@ bench:
 # BENCH_<exp>.json whole-experiment artifact).
 bench-baseline:
 	scripts/bench.sh
+
+# Diff a fresh quick-scale run against the committed bench/ baselines;
+# fails on >10% wall-time regression.
+bench-compare:
+	scripts/bench-compare.sh

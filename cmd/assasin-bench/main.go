@@ -10,6 +10,7 @@
 //	assasin-bench -quick -verify      # fast run with functional checks
 //	assasin-bench -parallel 1         # force sequential simulation runs
 //	assasin-bench -json out/          # also write BENCH_<exp>.json files
+//	assasin-bench -exp table2 -quick -trace t.json -metrics m.json
 package main
 
 import (
@@ -21,9 +22,11 @@ import (
 	"strings"
 	"time"
 
+	"assasin/internal/cpu"
 	"assasin/internal/experiments"
 	"assasin/internal/profiling"
 	"assasin/internal/runpool"
+	"assasin/internal/telemetry"
 )
 
 // stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
@@ -39,7 +42,10 @@ func main() {
 		sf       = flag.Float64("sf", 0, "override TPC-H scale factor")
 		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
 		parallel = flag.Int("parallel", runpool.DefaultWorkers(), "max concurrent simulation runs (1 = sequential; results are identical)")
+		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
+		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto; forces -parallel 1)")
+		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file (forces -parallel 1)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -72,6 +78,22 @@ func main() {
 		cfg.KernelMB = *mb
 	}
 	cfg.Workers = *parallel
+	mode, err := cpu.ParseExecMode(*execMode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Exec = mode
+
+	var tel *telemetry.Sink
+	if *tracePth != "" || *metrPth != "" {
+		tel = telemetry.NewSink()
+		cfg.Telemetry = tel
+		// The sink is not goroutine-safe: telemetry runs are sequential.
+		if cfg.Workers != 1 {
+			fmt.Fprintln(os.Stderr, "assasin-bench: telemetry enabled, forcing -parallel 1")
+			cfg.Workers = 1
+		}
+	}
 
 	names := strings.Split(*exp, ",")
 	for i := range names {
@@ -99,13 +121,33 @@ func main() {
 		fmt.Print(text)
 		wall := time.Since(start).Seconds()
 		if *jsonDir != "" {
-			if err := writeJSON(*jsonDir, name, cfg, rows, wall); err != nil {
+			var snap *telemetry.MetricsSnapshot
+			if tel != nil {
+				s := tel.Metrics()
+				snap = &s
+			}
+			if err := writeJSON(*jsonDir, name, cfg, rows, wall, snap); err != nil {
 				fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
 				stopProfiles()
 				os.Exit(1)
 			}
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, wall)
+	}
+
+	if tel != nil {
+		if *tracePth != "" {
+			if err := tel.WriteChromeTraceFile(*tracePth); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("[trace: %s, %d events]\n", *tracePth, tel.EventCount())
+		}
+		if *metrPth != "" {
+			if err := tel.WriteMetricsFile(*metrPth); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("[metrics: %s]\n", *metrPth)
+		}
 	}
 }
 
@@ -115,20 +157,24 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-// benchEnvelope is the schema of a BENCH_<exp>.json file.
+// benchEnvelope is the schema of a BENCH_<exp>.json file. Telemetry holds
+// the sink's cumulative metrics snapshot taken after this experiment
+// completed; it is present only when -trace/-metrics is enabled.
 type benchEnvelope struct {
-	Experiment  string             `json:"experiment"`
-	Config      experiments.Config `json:"config"`
-	WallSeconds float64            `json:"wall_seconds"`
-	Rows        any                `json:"rows"`
+	Experiment  string                     `json:"experiment"`
+	Config      experiments.Config         `json:"config"`
+	WallSeconds float64                    `json:"wall_seconds"`
+	Rows        any                        `json:"rows"`
+	Telemetry   *telemetry.MetricsSnapshot `json:"telemetry,omitempty"`
 }
 
-func writeJSON(dir, name string, cfg experiments.Config, rows any, wall float64) error {
+func writeJSON(dir, name string, cfg experiments.Config, rows any, wall float64, snap *telemetry.MetricsSnapshot) error {
 	b, err := json.MarshalIndent(benchEnvelope{
 		Experiment:  name,
 		Config:      cfg,
 		WallSeconds: wall,
 		Rows:        rows,
+		Telemetry:   snap,
 	}, "", "  ")
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@
 //	assasin-sim -arch AssasinSb -kernel stat -mb 4 -cores 8
 //	assasin-sim -arch Baseline -kernel filter -mb 2
 //	assasin-sim -arch UDP -kernel aes -mb 0.25 -adjusted
+//	assasin-sim -kernel scan -trace trace.json -metrics metrics.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"assasin/internal/kernels"
 	"assasin/internal/profiling"
 	"assasin/internal/ssd"
+	"assasin/internal/telemetry"
 )
 
 // stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
@@ -36,6 +38,8 @@ func main() {
 		adjusted = flag.Bool("adjusted", false, "apply Fig 20 timing adjustments")
 		seed     = flag.Int64("seed", 1, "input data seed")
 		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
+		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
+		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -55,14 +59,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	var mode cpu.ExecMode
-	switch *execMode {
-	case "fused":
-		mode = cpu.ExecFused
-	case "precise":
-		mode = cpu.ExecPrecise
-	default:
-		fail(fmt.Errorf("unknown -exec %q (valid: fused, precise)", *execMode))
+	mode, err := cpu.ParseExecMode(*execMode)
+	if err != nil {
+		fail(err)
 	}
 	stop, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -71,7 +70,12 @@ func main() {
 	stopProfiles = stop
 	defer stop()
 
-	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode})
+	var tel *telemetry.Sink
+	if *tracePth != "" || *metrPth != "" {
+		tel = telemetry.NewSink()
+		tel.StartRun(fmt.Sprintf("%s/%s", *archName, *kernel))
+	}
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, Telemetry: tel})
 	size := int(*mb * (1 << 20))
 	size -= size % 64
 	var lpaLists [][]int
@@ -118,6 +122,22 @@ func main() {
 	fmt.Printf("  instructions %d (%.2f per input byte)\n", instr, float64(instr)/float64(res.InputBytes))
 	fmt.Printf("  DRAM traffic %.2f MB (util %.0f%%)\n",
 		float64(s.DRAM.TotalBytes())/(1<<20), 100*s.DRAM.Utilization(res.Duration))
+
+	if tel != nil {
+		s.PublishStats()
+		if *tracePth != "" {
+			if err := tel.WriteChromeTraceFile(*tracePth); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  trace       %s (%d events)\n", *tracePth, tel.EventCount())
+		}
+		if *metrPth != "" {
+			if err := tel.WriteMetricsFile(*metrPth); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  metrics     %s\n", *metrPth)
+		}
+	}
 }
 
 func parseArch(name string) (ssd.Arch, error) {

@@ -13,6 +13,7 @@ import (
 	"assasin/internal/isa"
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
 
 // Config sets a core's timing parameters.
@@ -156,6 +157,10 @@ type Core struct {
 	maxInsts     int64
 	stats        Stats
 	haltCallback func(at sim.Time)
+
+	// tel, when non-nil, is the core's trace track; Run emits one "exec"
+	// span per dispatch slice on it (see AttachTelemetry).
+	tel *telemetry.Track
 }
 
 // New returns a core ready to Load a program.
@@ -270,9 +275,45 @@ func (c *Core) Wake(t sim.Time) {
 	}
 }
 
-// Run implements sim.Process: interpret instructions until the local clock
-// passes limit, the core blocks, or the program halts.
+// AttachTelemetry gives the core a trace track on sink (nil sink detaches).
+// With a track attached, Run emits one "exec" span per dispatch slice
+// [entry local time, exit local time) annotated with the instructions
+// retired in the slice, plus a "halt" instant when the program finishes.
+// Both execution engines share this instrumentation point, and the fused
+// engine's invariant — every Run call returns at the same local-time
+// boundary as precise stepping — makes Fused and Precise traces identical
+// at this (block-aligned) granularity.
+func (c *Core) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		c.tel = nil
+		return
+	}
+	c.tel = sink.Track("cpu/" + c.cfg.Name)
+}
+
+// Run implements sim.Process; the telemetry wrapper around the interpreter
+// proper (run) compiles to a nil-pointer branch when disabled.
 func (c *Core) Run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
+	if c.tel == nil {
+		return c.run(limit)
+	}
+	start := c.at
+	startInsts := c.stats.Instructions
+	haltedBefore := c.halted
+	local, state, wake := c.run(limit)
+	if local > start {
+		c.tel.Span("exec", int64(start), int64(local),
+			telemetry.Arg{Key: "insts", Val: c.stats.Instructions - startInsts})
+	}
+	if state == sim.StateDone && !haltedBefore {
+		c.tel.Instant("halt", int64(local))
+	}
+	return local, state, wake
+}
+
+// run interprets instructions until the local clock passes limit, the core
+// blocks, or the program halts.
+func (c *Core) run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 	if c.halted {
 		return c.at, sim.StateDone, 0
 	}

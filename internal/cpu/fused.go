@@ -13,6 +13,8 @@ package cpu
 // order, is unchanged. See DESIGN.md, "Fused execution engine".
 
 import (
+	"fmt"
+
 	"assasin/internal/isa"
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
@@ -36,6 +38,20 @@ func (m ExecMode) String() string {
 		return "precise"
 	}
 	return "fused"
+}
+
+// ParseExecMode maps a CLI string to an ExecMode; unknown values get an
+// error naming the valid modes (shared by assasin-sim and assasin-bench so
+// their -exec flags reject garbage identically).
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "fused":
+		return ExecFused, nil
+	case "precise":
+		return ExecPrecise, nil
+	default:
+		return ExecFused, fmt.Errorf("unknown exec mode %q (valid: fused, precise)", s)
+	}
 }
 
 // streamNeed is the worst-case byte requirement of one loop iteration

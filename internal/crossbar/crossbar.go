@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
 
 // Config sizes the crossbar.
@@ -34,10 +35,34 @@ func DefaultConfig(ports int) Config {
 	return Config{Ports: ports, PortBandwidth: 4e9, Latency: 200 * sim.Nanosecond}
 }
 
+// Tel is the crossbar telemetry bundle. A grant is any accepted transfer;
+// a conflict is a transfer that found its target port still busy with
+// earlier traffic (i.e. arbitration made it queue).
+type Tel struct {
+	Grants    *telemetry.Counter
+	Conflicts *telemetry.Counter
+	Bytes     *telemetry.Counter
+}
+
+// NewTel registers the crossbar metrics on sink (nil sink -> nil Tel).
+func NewTel(sink *telemetry.Sink) *Tel {
+	if sink == nil {
+		return nil
+	}
+	return &Tel{
+		Grants:    sink.Counter("xbar", "grants"),
+		Conflicts: sink.Counter("xbar", "conflicts"),
+		Bytes:     sink.Counter("xbar", "bytes"),
+	}
+}
+
 // Crossbar is the interconnect instance.
 type Crossbar struct {
 	cfg   Config
 	ports []*sim.BandwidthServer
+
+	// Tel, when non-nil, counts grants/conflicts/bytes per Transfer.
+	Tel *Tel
 }
 
 // New returns a crossbar with cfg.Ports ingress ports.
@@ -65,6 +90,13 @@ func (x *Crossbar) Transfer(at sim.Time, port, size int) (sim.Time, error) {
 		return 0, fmt.Errorf("crossbar: port %d out of range", port)
 	}
 	srv := x.ports[port]
+	if t := x.Tel; t != nil {
+		t.Grants.Inc()
+		t.Bytes.Add(int64(size))
+		if srv.NextFree() > at {
+			t.Conflicts.Inc()
+		}
+	}
 	occupied := srv.TransferTime(size)
 	// Charge occupancy as if the transfer started streaming one transfer
 	// time ago — cut-through: completion is gated by port backlog, not by
@@ -78,6 +110,9 @@ func (x *Crossbar) Transfer(at sim.Time, port, size int) (sim.Time, error) {
 
 // PortBytes returns the bytes delivered through one port.
 func (x *Crossbar) PortBytes(port int) int64 { return x.ports[port].Bytes() }
+
+// PortBusy returns one port's cumulative busy time.
+func (x *Crossbar) PortBusy(port int) sim.Time { return x.ports[port].BusyTime() }
 
 // PortUtilization returns one port's busy fraction over [0, now].
 func (x *Crossbar) PortUtilization(port int, now sim.Time) float64 {

@@ -41,6 +41,8 @@ func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 			recordSize:  16,
 			outKind:     firmware.OutDiscard,
 			windowPages: p,
+			exec:        cfg.Exec,
+			telemetry:   cfg.Telemetry,
 		})
 		if err != nil {
 			return AblationWindowRow{}, fmt.Errorf("window %d: %w", p, err)
@@ -77,10 +79,15 @@ func AblationDRAM(cfg Config) ([]AblationDRAMRow, error) {
 	// One job per (bandwidth, configuration).
 	tputs, err := runpool.Map(cfg.workers(), len(bws)*len(archs), func(j int) (float64, error) {
 		bw, arch := bws[j/len(archs)], archs[j%len(archs)]
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.StartRun(fmt.Sprintf("dram%.0fGBps/%v", bw/1e9, arch))
+		}
 		s := ssd.New(ssd.Options{
-			Arch:  arch,
-			Cores: cfg.Cores,
-			DRAM:  memhier.DRAMConfig{BandwidthBytesPerSec: bw, Latency: 60 * sim.Nanosecond},
+			Arch:      arch,
+			Cores:     cfg.Cores,
+			DRAM:      memhier.DRAMConfig{BandwidthBytesPerSec: bw, Latency: 60 * sim.Nanosecond},
+			Exec:      cfg.Exec,
+			Telemetry: cfg.Telemetry,
 		})
 		lpas, err := s.InstallBytes(data)
 		if err != nil {
@@ -97,6 +104,7 @@ func AblationDRAM(cfg Config) ([]AblationDRAMRow, error) {
 		if err != nil {
 			return 0, fmt.Errorf("dram %g on %v: %w", bw, arch, err)
 		}
+		s.PublishStats()
 		return res.Throughput(), nil
 	})
 	if err != nil {
@@ -138,7 +146,15 @@ type MixedIOResult struct {
 // custom FTL, shared flash array).
 func MixedIO(cfg Config) (*MixedIOResult, error) {
 	run := func(withOffload bool) (float64, sim.Time, error) {
-		s := ssd.New(ssd.Options{Arch: ssd.AssasinSb, Cores: cfg.Cores})
+		if cfg.Telemetry != nil {
+			label := "mixed-io/idle"
+			if withOffload {
+				label = "mixed-io/offload"
+			}
+			cfg.Telemetry.StartRun(label)
+		}
+		s := ssd.New(ssd.Options{Arch: ssd.AssasinSb, Cores: cfg.Cores,
+			Exec: cfg.Exec, Telemetry: cfg.Telemetry})
 		data := randData(int(cfg.ScanMB*(1<<20)), 33)
 		lpas, err := s.InstallBytes(data)
 		if err != nil {
@@ -179,6 +195,7 @@ func MixedIO(cfg Config) (*MixedIOResult, error) {
 		if res != nil {
 			tput = res.Throughput()
 		}
+		s.PublishStats()
 		return tput, nvme.Latencies(comps).Mean, nil
 	}
 	// Two independent drives: job 0 idle, job 1 running the offload.

@@ -20,6 +20,7 @@ import (
 	"assasin/internal/kernels"
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
+	"assasin/internal/telemetry"
 )
 
 // Config scales the experiments.
@@ -42,6 +43,13 @@ type Config struct {
 	// concurrently. 0 or 1 runs everything sequentially; results are
 	// identical either way (see internal/runpool).
 	Workers int
+	// Exec selects the core interpreter strategy for every run (default
+	// cpu.ExecFused; results are identical across modes).
+	Exec cpu.ExecMode `json:"exec,omitempty"`
+	// Telemetry, when non-nil, is handed to every SSD an experiment
+	// builds. The sink is not goroutine-safe, so callers must keep
+	// Workers <= 1 when setting it (cmd/assasin-bench enforces this).
+	Telemetry *telemetry.Sink `json:"-"`
 }
 
 // workers returns the effective pool width for fan-out sites.
@@ -102,6 +110,10 @@ type runOpts struct {
 	exec cpu.ExecMode
 	// coreQuantum overrides the per-core scheduler quantum (0 = default).
 	coreQuantum sim.Time
+	// telemetry, when non-nil, instruments the run's SSD; runStandalone
+	// opens a trace run labeled "<kernel>/<arch>" and publishes the
+	// component snapshot gauges after the run.
+	telemetry *telemetry.Sink
 }
 
 // runResult is one run's measurements.
@@ -116,6 +128,9 @@ func (r *runResult) throughput() float64 { return r.res.Throughput() }
 // runStandalone builds a fresh SSD, installs the inputs, and runs the
 // kernel across the cores.
 func runStandalone(o runOpts) (*runResult, error) {
+	if o.telemetry != nil {
+		o.telemetry.StartRun(fmt.Sprintf("%s/%v", o.kernel.Name(), o.arch))
+	}
 	s := ssd.New(ssd.Options{
 		Arch:           o.arch,
 		Cores:          o.cores,
@@ -123,6 +138,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 		WindowPages:    o.windowPages,
 		Exec:           o.exec,
 		CoreQuantum:    o.coreQuantum,
+		Telemetry:      o.telemetry,
 	})
 	var lpaLists [][]int
 	var lengths []int64
@@ -146,6 +162,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.PublishStats()
 	return &runResult{res: res, instance: s}, nil
 }
 

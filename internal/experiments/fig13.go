@@ -94,6 +94,8 @@ func standaloneSweep(cfg Config, adjusted bool) ([]Fig13Row, error) {
 			recordSize: spec.recordSize,
 			outKind:    spec.outKind,
 			collect:    cfg.Verify && spec.outKind != firmware.OutDiscard,
+			exec:       cfg.Exec,
+			telemetry:  cfg.Telemetry,
 		}
 		r, err := runStandalone(o)
 		if err != nil {
@@ -163,6 +165,8 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		recordSize: filterTupleSize,
 		outKind:    firmware.OutToHost,
 		collect:    cfg.Verify,
+		exec:       cfg.Exec,
+		telemetry:  cfg.Telemetry,
 	}
 	r, err := runStandalone(o)
 	if err != nil {

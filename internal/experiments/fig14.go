@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"strings"
 
+	"assasin/internal/cpu"
 	"assasin/internal/firmware"
 	"assasin/internal/host"
 	"assasin/internal/runpool"
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
+	"assasin/internal/telemetry"
 	"assasin/internal/tpch"
 )
 
@@ -27,6 +29,9 @@ type psfDataset struct {
 	ds      *tpch.Dataset
 	csv     map[string][]byte
 	offsets map[string][]int64
+	// Run options threaded from Config by the experiment entry points.
+	exec cpu.ExecMode
+	tel  *telemetry.Sink
 }
 
 func newPSFDataset(sf float64) *psfDataset {
@@ -45,7 +50,11 @@ func newPSFDataset(sf float64) *psfDataset {
 func (p *psfDataset) runQueryPSF(q *tpch.QuerySpec, arch ssd.Arch, cores int, adjusted, collect bool) (*ssd.Result, []byte, error) {
 	csv := p.csv[q.Table]
 	offs := p.offsets[q.Table]
-	s := ssd.New(ssd.Options{Arch: arch, Cores: cores, TimingAdjusted: adjusted})
+	if p.tel != nil {
+		p.tel.StartRun(fmt.Sprintf("Q%d/%v", q.ID, arch))
+	}
+	s := ssd.New(ssd.Options{Arch: arch, Cores: cores, TimingAdjusted: adjusted,
+		Exec: p.exec, Telemetry: p.tel})
 	lpas, err := s.InstallBytes(csv)
 	if err != nil {
 		return nil, nil, err
@@ -81,6 +90,7 @@ func (p *psfDataset) runQueryPSF(q *tpch.QuerySpec, arch ssd.Arch, cores int, ad
 	if err != nil {
 		return nil, nil, fmt.Errorf("Q%d on %v: %w", q.ID, arch, err)
 	}
+	s.PublishStats()
 	var out []byte
 	if collect {
 		for _, outs := range res.Outputs {
@@ -103,6 +113,7 @@ func Fig21PSF(cfg Config) ([]Fig14Row, error) {
 
 func fig14Sweep(cfg Config, adjusted bool, archs []ssd.Arch) ([]Fig14Row, error) {
 	p := newPSFDataset(cfg.TPCHScale)
+	p.exec, p.tel = cfg.Exec, cfg.Telemetry
 	queries := tpch.Queries()
 	// Per-query reference outputs are computed up front (host-side, cheap)
 	// so the fan-out jobs only read them.
@@ -205,6 +216,7 @@ type Fig15Row struct {
 // computational SSD, and AssasinSb — the paper's end-to-end Fig. 15.
 func Fig15(cfg Config) ([]Fig15Row, error) {
 	p := newPSFDataset(cfg.TPCHScale)
+	p.exec, p.tel = cfg.Exec, cfg.Telemetry
 	hm := host.New(host.DefaultConfig())
 	// The end-to-end comparison always uses the paper's full 8-engine SSDs.
 	cores := cfg.Cores

@@ -60,6 +60,8 @@ func Fig16(cfg Config) ([]Fig16Point, error) {
 			// The single scan stream gets the whole 64 KiB ISB (the
 			// firmware allocates slot capacity to active streams).
 			windowPages: 16,
+			exec:        cfg.Exec,
+			telemetry:   cfg.Telemetry,
 		})
 		if err != nil {
 			return Fig16Point{}, fmt.Errorf("scan at %d cores: %w", cores, err)
@@ -181,11 +183,20 @@ func Fig19(cfg Config) ([]Fig19Point, error) {
 		skew := skews[i]
 		var measured float64
 		run := func(channelLocal bool) (float64, error) {
+			if cfg.Telemetry != nil {
+				mode := "xbar"
+				if channelLocal {
+					mode = "chlocal"
+				}
+				cfg.Telemetry.StartRun(fmt.Sprintf("skew%.2f/%s", skew, mode))
+			}
 			s := ssd.New(ssd.Options{
 				Arch:         ssd.AssasinSb,
 				Cores:        cores,
 				ChannelLocal: channelLocal,
 				Layout:       ftl.SkewedPolicy{Skew: skew},
+				Exec:         cfg.Exec,
+				Telemetry:    cfg.Telemetry,
 			})
 			lpas, err := s.InstallBytes(data)
 			if err != nil {
@@ -205,6 +216,7 @@ func Fig19(cfg Config) ([]Fig19Point, error) {
 			if err != nil {
 				return 0, err
 			}
+			s.PublishStats()
 			return res.Throughput(), nil
 		}
 		xbar, err := run(false)

@@ -82,6 +82,8 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			recordSize: rec,
 			outKind:    e.out,
 			collect:    cfg.Verify && e.out != firmware.OutDiscard,
+			exec:       cfg.Exec,
+			telemetry:  cfg.Telemetry,
 		}
 		r, err := runStandalone(o)
 		if err != nil {

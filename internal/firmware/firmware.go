@@ -17,6 +17,7 @@ import (
 	"assasin/internal/ftl"
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
 
 var debugFeeder = false
@@ -97,6 +98,38 @@ type Config struct {
 	MaxSenses int
 }
 
+// Tel is the firmware telemetry bundle: data-plane volume counters, task
+// lifecycle instants on the "fw" track, and per-feeder/drainer page and
+// drain spans (tracks "fw/core<i>/in<slot>" and "fw/core<i>/out<slot>").
+type Tel struct {
+	sink  *telemetry.Sink
+	track *telemetry.Track // task lifecycle instants
+
+	PagesFed       *telemetry.Counter
+	BytesFed       *telemetry.Counter
+	PagesDrained   *telemetry.Counter
+	BytesDrained   *telemetry.Counter
+	TasksSubmitted *telemetry.Counter
+	TasksCompleted *telemetry.Counter
+}
+
+// NewTel registers the firmware metrics on sink (nil sink -> nil Tel).
+func NewTel(sink *telemetry.Sink) *Tel {
+	if sink == nil {
+		return nil
+	}
+	return &Tel{
+		sink:           sink,
+		track:          sink.Track("fw"),
+		PagesFed:       sink.Counter("fw", "pages_fed"),
+		BytesFed:       sink.Counter("fw", "bytes_fed"),
+		PagesDrained:   sink.Counter("fw", "pages_drained"),
+		BytesDrained:   sink.Counter("fw", "bytes_drained"),
+		TasksSubmitted: sink.Counter("fw", "tasks_submitted"),
+		TasksCompleted: sink.Counter("fw", "tasks_completed"),
+	}
+}
+
 // Engine drives one offload request's data plane.
 type Engine struct {
 	cfg   Config
@@ -104,6 +137,10 @@ type Engine struct {
 	ftl   *ftl.FTL
 	dram  *memhier.DRAM
 	xbar  *crossbar.Crossbar // nil for channel-local configurations
+
+	// Tel, when non-nil, records data-plane counters, per-page/drain spans
+	// and task lifecycle instants. Set it before Submit.
+	Tel *Tel
 
 	feeders  []*feeder
 	drainers []*drainer
@@ -148,6 +185,11 @@ func (e *Engine) Submit(tasks []Task) error {
 			return fmt.Errorf("firmware: task %d has %d outputs, core has %d slots", ti, len(t.Outputs), len(sys.Streams.Out))
 		}
 		core := t.Core
+		if e.Tel != nil {
+			e.Tel.TasksSubmitted.Inc()
+			e.Tel.track.Instant("task-submit", int64(e.sched.Events.Now()),
+				telemetry.Arg{Key: "core", Val: int64(t.CoreID)})
+		}
 		for si := range t.Inputs {
 			fd := &feeder{
 				e:      e,
@@ -155,6 +197,9 @@ func (e *Engine) Submit(tasks []Task) error {
 				coreID: t.CoreID,
 				stream: sys.Streams.In[si],
 				spec:   t.Inputs[si],
+			}
+			if e.Tel != nil {
+				fd.track = e.Tel.sink.Track(fmt.Sprintf("fw/core%d/in%d", t.CoreID, si))
 			}
 			e.feeders = append(e.feeders, fd)
 			e.liveFeeders++
@@ -174,6 +219,9 @@ func (e *Engine) Submit(tasks []Task) error {
 				target: t.Outputs[si],
 				lpa:    t.Outputs[si].StartLPA,
 			}
+			if e.Tel != nil {
+				dr.track = e.Tel.sink.Track(fmt.Sprintf("fw/core%d/out%d", t.CoreID, si))
+			}
 			e.drainers = append(e.drainers, dr)
 			e.liveDrains++
 			dr.stream.OnData = func() { dr.schedulePump() }
@@ -183,9 +231,15 @@ func (e *Engine) Submit(tasks []Task) error {
 			}
 		}
 		e.liveCores++
+		coreID := t.CoreID
 		core.OnHalt(func(at sim.Time) {
 			e.liveCores--
 			e.noteProgress(at)
+			if e.Tel != nil {
+				e.Tel.TasksCompleted.Inc()
+				e.Tel.track.Instant("task-halt", int64(at),
+					telemetry.Arg{Key: "core", Val: int64(coreID)})
+			}
 			// Push drainers to flush remaining partial pages.
 			for _, dr := range e.drainers {
 				if dr.core == core {
@@ -240,11 +294,12 @@ func (e *Engine) Collected(coreID, slot int) []byte {
 
 // sensedPage is a page whose tR sense completed, waiting for bus transfer.
 type sensedPage struct {
-	data      []byte // already trimmed to the stream window
-	channel   int
-	senseDone sim.Time
-	last      bool
-	rawSize   int // bus occupancy (full page)
+	data       []byte // already trimmed to the stream window
+	channel    int
+	senseStart sim.Time // when the sense was issued (trace span start)
+	senseDone  sim.Time
+	last       bool
+	rawSize    int // bus occupancy (full page)
 }
 
 // feeder streams one StreamSpec into one input stream buffer.
@@ -260,7 +315,8 @@ type feeder struct {
 	claimed   int
 	pumping   bool
 	closed    bool
-	lastAvail sim.Time // enforces in-order delivery across channels
+	lastAvail sim.Time         // enforces in-order delivery across channels
+	track     *telemetry.Track // per-feeder page spans; nil when disabled
 }
 
 // schedulePump queues a pump event if none is pending.
@@ -324,11 +380,12 @@ func (f *feeder) pump(now sim.Time) {
 		trimmed := f.trimForPage(f.nextPage, data)
 		f.nextPage++
 		f.sensed = append(f.sensed, sensedPage{
-			data:      trimmed,
-			channel:   ppa.Channel,
-			senseDone: senseDone,
-			last:      f.nextPage == len(f.spec.LPAs),
-			rawSize:   f.e.cfg.PageSize,
+			data:       trimmed,
+			channel:    ppa.Channel,
+			senseStart: now,
+			senseDone:  senseDone,
+			last:       f.nextPage == len(f.spec.LPAs),
+			rawSize:    f.e.cfg.PageSize,
 		})
 	}
 	// Phase 2: transfer sensed pages while window space allows.
@@ -353,6 +410,13 @@ func (f *feeder) pump(now sim.Time) {
 		// pages of the same stream: delivery is in stream order.
 		avail = sim.MaxT(avail, f.lastAvail)
 		f.lastAvail = avail
+		if f.track != nil {
+			f.track.Span("page", int64(pg.senseStart), int64(avail),
+				telemetry.Arg{Key: "bytes", Val: int64(len(pg.data))},
+				telemetry.Arg{Key: "channel", Val: int64(pg.channel)})
+			f.e.Tel.PagesFed.Inc()
+			f.e.Tel.BytesFed.Add(int64(len(pg.data)))
+		}
 		if debugFeeder {
 			fmt.Printf("FTRACE page sense=%v waitTx=%v tx=%v deliver=%v\n",
 				pg.senseDone, sim.MaxT(now, pg.senseDone), txDone, avail)
@@ -373,6 +437,9 @@ func (f *feeder) pump(now sim.Time) {
 				f.closed = true
 				f.e.liveFeeders--
 				f.e.noteProgress(at)
+				if f.track != nil {
+					f.track.Instant("eos", int64(at))
+				}
 				f.core.Wake(at)
 				f.e.sched.Wake(f.core, at)
 			} else {
@@ -385,6 +452,9 @@ func (f *feeder) pump(now sim.Time) {
 		f.stream.Close()
 		f.closed = true
 		f.e.liveFeeders--
+		if f.track != nil {
+			f.track.Instant("eos", int64(now))
+		}
 		f.core.Wake(now)
 		f.e.sched.Wake(f.core, now)
 	}
@@ -422,6 +492,7 @@ type drainer struct {
 	pumping    bool
 	coreHalted bool
 	finished   bool
+	track      *telemetry.Track // per-drainer spans; nil when disabled
 }
 
 func (d *drainer) schedulePump() {
@@ -474,6 +545,12 @@ func (d *drainer) pump(now sim.Time) {
 			drained := d.stream.Drain(n, freedAt)
 			if d.target.Collect {
 				d.collected = append(d.collected, drained...)
+			}
+			if d.track != nil {
+				d.track.Span("drain", int64(now), int64(freedAt),
+					telemetry.Arg{Key: "bytes", Val: int64(n)})
+				d.e.Tel.PagesDrained.Inc()
+				d.e.Tel.BytesDrained.Add(int64(n))
 			}
 			d.e.noteProgress(freedAt)
 			continue

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
 
 // Config is the array geometry and timing.
@@ -77,10 +78,39 @@ type chip struct {
 }
 
 // Array is the flash array: timing and functional content.
+// Tel is the flash-array telemetry bundle: operation counts plus the bytes
+// moved over channel buses. Per-channel busy time lives in the channel
+// bandwidth servers and is published at snapshot time (ssd.PublishStats),
+// not per access.
+type Tel struct {
+	Senses        *telemetry.Counter
+	Transfers     *telemetry.Counter
+	Programs      *telemetry.Counter
+	Erases        *telemetry.Counter
+	TransferBytes *telemetry.Counter
+}
+
+// NewTel registers the flash metrics on sink (nil sink -> nil Tel).
+func NewTel(sink *telemetry.Sink) *Tel {
+	if sink == nil {
+		return nil
+	}
+	return &Tel{
+		Senses:        sink.Counter("flash", "senses"),
+		Transfers:     sink.Counter("flash", "transfers"),
+		Programs:      sink.Counter("flash", "programs"),
+		Erases:        sink.Counter("flash", "erases"),
+		TransferBytes: sink.Counter("flash", "transfer_bytes"),
+	}
+}
+
 type Array struct {
 	cfg      Config
 	channels []*sim.BandwidthServer
 	chips    [][]*chip
+
+	// Tel, when non-nil, counts senses/transfers/programs/erases.
+	Tel *Tel
 }
 
 // New returns an erased array.
@@ -145,6 +175,9 @@ func (a *Array) Sense(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	senseDone := start + a.cfg.ReadLatency
 	ch.nextFree = senseDone
 	ch.reads++
+	if a.Tel != nil {
+		a.Tel.Senses.Inc()
+	}
 	idx := a.pageIndex(p)
 	data := ch.data[idx]
 	if data == nil {
@@ -164,6 +197,10 @@ func (a *Array) Transfer(at sim.Time, channel, size int) (sim.Time, error) {
 	}
 	if size <= 0 || size > a.cfg.PageSize {
 		return 0, fmt.Errorf("flash: invalid transfer size %d", size)
+	}
+	if a.Tel != nil {
+		a.Tel.Transfers.Inc()
+		a.Tel.TransferBytes.Add(int64(size))
 	}
 	return a.channels[channel].Access(at, size), nil
 }
@@ -207,6 +244,10 @@ func (a *Array) Write(at sim.Time, p PPA, data []byte) (busDone, progDone sim.Ti
 	progDone = start + a.cfg.ProgramLatency
 	ch.nextFree = progDone
 	ch.writes++
+	if a.Tel != nil {
+		a.Tel.Programs.Inc()
+		a.Tel.TransferBytes.Add(int64(a.cfg.PageSize))
+	}
 	stored := make([]byte, a.cfg.PageSize)
 	copy(stored, data)
 	ch.data[idx] = stored
@@ -232,6 +273,9 @@ func (a *Array) Erase(at sim.Time, channel, chipIdx, block int) (sim.Time, error
 	}
 	ch.nextPage[block] = 0
 	ch.erases[block]++
+	if a.Tel != nil {
+		a.Tel.Erases.Inc()
+	}
 	return done, nil
 }
 

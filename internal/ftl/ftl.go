@@ -17,6 +17,7 @@ import (
 
 	"assasin/internal/flash"
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
 
 // Policy chooses the target channel for a logical page write.
@@ -105,7 +106,24 @@ type FTL struct {
 	// block count drops to it.
 	GCThreshold int
 
+	// Tel, when non-nil, counts L2P translations; the cumulative Stats
+	// (host/GC writes, erases, invocations) are published at snapshot time.
+	Tel *Tel
+
 	stats Stats
+}
+
+// Tel is the FTL telemetry bundle.
+type Tel struct {
+	Lookups *telemetry.Counter // successful L2P translations
+}
+
+// NewTel registers the FTL metrics on sink (nil sink -> nil Tel).
+func NewTel(sink *telemetry.Sink) *Tel {
+	if sink == nil {
+		return nil
+	}
+	return &Tel{Lookups: sink.Counter("ftl", "lookups")}
 }
 
 // Stats counts FTL activity.
@@ -220,6 +238,9 @@ func (f *FTL) Lookup(lpa int) (flash.PPA, bool) {
 		return flash.PPA{}, false
 	}
 	if ppa := f.l2pAt(lpa); ppa.Page >= 0 {
+		if f.Tel != nil {
+			f.Tel.Lookups.Inc()
+		}
 		return ppa, true
 	}
 	return flash.PPA{}, false

@@ -4,7 +4,40 @@ import (
 	"fmt"
 
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
+
+// StreamTel is the stream-buffer telemetry bundle, shared across every
+// stream slot it is attached to (counts aggregate over slots and cores).
+// Instrumented points sit on page-granularity or stall paths only — never
+// in the per-word gather/append fast paths — so enabled-mode overhead is
+// bounded by page traffic and disabled mode is a nil-pointer branch.
+type StreamTel struct {
+	PushPages     *telemetry.Counter   // firmware pushes into input windows
+	PushBytes     *telemetry.Counter   // bytes pushed into input windows
+	RefillStalls  *telemetry.Counter   // input reads that found too few bytes buffered
+	OutFullStalls *telemetry.Counter   // output appends that found the window full
+	DrainBytes    *telemetry.Counter   // bytes drained from output windows
+	Occupancy     *telemetry.Histogram // input head/tail distance after each push
+	OutOccupancy  *telemetry.Histogram // output head/tail distance after each drain
+}
+
+// NewStreamTel registers the stream-buffer metrics on sink (nil sink ->
+// nil StreamTel).
+func NewStreamTel(sink *telemetry.Sink) *StreamTel {
+	if sink == nil {
+		return nil
+	}
+	return &StreamTel{
+		PushPages:     sink.Counter("stream", "push_pages"),
+		PushBytes:     sink.Counter("stream", "push_bytes"),
+		RefillStalls:  sink.Counter("stream", "refill_stalls"),
+		OutFullStalls: sink.Counter("stream", "out_full_stalls"),
+		DrainBytes:    sink.Counter("stream", "drain_bytes"),
+		Occupancy:     sink.Histogram("stream", "in_occupancy_bytes"),
+		OutOccupancy:  sink.Histogram("stream", "out_occupancy_bytes"),
+	}
+}
 
 // LoadStatus describes the outcome of a stream read attempt.
 type LoadStatus int
@@ -51,6 +84,9 @@ type InStream struct {
 	// OnPush, if set, is called when data arrives (used to wake a stalled
 	// core process at the page's availability time).
 	OnPush func(at sim.Time)
+
+	// Tel, when non-nil, counts pushes, occupancy and refill stalls.
+	Tel *StreamTel
 }
 
 // NewInStream returns an input stream with a window of pages×pageSize bytes.
@@ -106,6 +142,11 @@ func (s *InStream) Push(data []byte, availableAt sim.Time) error {
 	}
 	s.lastAvail = availableAt
 	s.avail = append(s.avail, availSeg{End: s.delivered, At: availableAt})
+	if t := s.Tel; t != nil {
+		t.PushPages.Inc()
+		t.PushBytes.Add(int64(len(data)))
+		t.Occupancy.Observe(int64(s.Buffered()))
+	}
 	if s.OnPush != nil {
 		s.OnPush(availableAt)
 	}
@@ -243,6 +284,9 @@ func (s *InStream) Load(at sim.Time, width int) (uint32, sim.Time, LoadStatus) {
 		if s.closed {
 			return 0, at, LoadEOS
 		}
+		if s.Tel != nil {
+			s.Tel.RefillStalls.Inc()
+		}
 		return 0, at, LoadBlocked
 	}
 	ready := sim.MaxT(at, s.availableAtOffset(s.consumed+int64(width)-1))
@@ -261,6 +305,9 @@ func (s *InStream) Peek(at sim.Time, off int64, width int) (uint32, sim.Time, Lo
 	if int64(s.Buffered()) < need {
 		if s.closed {
 			return 0, at, LoadEOS
+		}
+		if s.Tel != nil {
+			s.Tel.RefillStalls.Inc()
 		}
 		return 0, at, LoadBlocked
 	}
@@ -294,6 +341,9 @@ func (s *InStream) ReadAt(at sim.Time, off int64, width int) (uint32, sim.Time, 
 		if s.closed {
 			return 0, at, LoadEOS
 		}
+		if s.Tel != nil {
+			s.Tel.RefillStalls.Inc()
+		}
 		return 0, at, LoadBlocked
 	}
 	ready := sim.MaxT(at, s.availableAtOffset(off+int64(width)-1))
@@ -317,6 +367,9 @@ type OutStream struct {
 	// OnSpace, if set, is called with the time at which window space was
 	// freed (used to wake a core stalled on a full output window).
 	OnSpace func(at sim.Time)
+
+	// Tel, when non-nil, counts full-window stalls and drain traffic.
+	Tel *StreamTel
 }
 
 // NewOutStream returns an output stream with a window of pages×pageSize.
@@ -350,6 +403,9 @@ func (s *OutStream) CanAppend(width int) bool { return s.Buffered()+width <= s.c
 // the window is full (the core must stall until the firmware drains).
 func (s *OutStream) Append(v uint32, width int) bool {
 	if !s.CanAppend(width) {
+		if s.Tel != nil {
+			s.Tel.OutFullStalls.Inc()
+		}
 		return false
 	}
 	pos := int(s.appended % int64(s.capBytes))
@@ -373,6 +429,9 @@ func (s *OutStream) Append(v uint32, width int) bool {
 // replacing the per-byte modulo walk for page-sized producers.
 func (s *OutStream) BulkAppend(data []byte) bool {
 	if !s.CanAppend(len(data)) {
+		if s.Tel != nil {
+			s.Tel.OutFullStalls.Inc()
+		}
 		return false
 	}
 	pos := int(s.appended % int64(s.capBytes))
@@ -432,6 +491,10 @@ func (s *OutStream) Drain(n int, at sim.Time) []byte {
 	}
 	out := s.peekInto(n)
 	s.drained += int64(n)
+	if t := s.Tel; t != nil {
+		t.DrainBytes.Add(int64(n))
+		t.OutOccupancy.Observe(int64(s.Buffered()))
+	}
 	if s.OnSpace != nil {
 		s.OnSpace(at)
 	}
@@ -458,4 +521,16 @@ func NewStreamBuffer(slots, pages, pageSize int) *StreamBuffer {
 		sb.Out[i] = NewOutStream(pages, pageSize)
 	}
 	return sb
+}
+
+// AttachTel points every stream slot at the shared telemetry bundle. The
+// ssd layer calls it on construction and again whenever streams are
+// recreated for a new offload request.
+func (sb *StreamBuffer) AttachTel(t *StreamTel) {
+	for _, in := range sb.In {
+		in.Tel = t
+	}
+	for _, out := range sb.Out {
+		out.Tel = t
+	}
 }

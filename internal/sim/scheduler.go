@@ -3,6 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"assasin/internal/telemetry"
 )
 
 // RunState describes what a Process did when asked to run.
@@ -59,6 +61,34 @@ type procEntry struct {
 	readyAt Time
 	quantum Time // per-process run quantum; 0 = scheduler default
 	done    bool
+	track   *telemetry.Track // per-process dispatch lane; lazily created
+}
+
+// SchedTel is the scheduler's telemetry bundle: dispatch/wake counters,
+// quantum-usage and run-queue-depth histograms, and per-process dispatch
+// spans on "sched/<name>" tracks. A nil *SchedTel disables everything (the
+// scheduler hot loop guards on the single pointer).
+type SchedTel struct {
+	Sink        *telemetry.Sink
+	Dispatches  *telemetry.Counter   // Process.Run invocations
+	Wakes       *telemetry.Counter   // external Wake calls that advanced readiness
+	QuantumUsed *telemetry.Histogram // simulated ps consumed per dispatch
+	RunQueue    *telemetry.Histogram // live (not done) processes at each dispatch
+}
+
+// NewSchedTel registers the scheduler metrics on sink; returns nil for a
+// nil sink so the disabled path stays a nil-pointer branch.
+func NewSchedTel(sink *telemetry.Sink) *SchedTel {
+	if sink == nil {
+		return nil
+	}
+	return &SchedTel{
+		Sink:        sink,
+		Dispatches:  sink.Counter("sched", "dispatches"),
+		Wakes:       sink.Counter("sched", "wakes"),
+		QuantumUsed: sink.Histogram("sched", "quantum_used_ps"),
+		RunQueue:    sink.Histogram("sched", "run_queue_live"),
+	}
 }
 
 // Scheduler co-simulates a set of processes together with an event queue
@@ -71,6 +101,10 @@ type Scheduler struct {
 	Quantum Time
 
 	Events EventQueue
+
+	// Tel, when non-nil, collects dispatch/wake/run-queue telemetry and
+	// emits one span per dispatch on a per-process track.
+	Tel *SchedTel
 
 	procs  []*procEntry
 	index  map[Process]*procEntry
@@ -128,6 +162,9 @@ func (s *Scheduler) Wake(p Process, t Time) {
 	}
 	if t < e.readyAt {
 		e.readyAt = t
+		if s.Tel != nil {
+			s.Tel.Wakes.Inc()
+		}
 	}
 }
 
@@ -156,12 +193,17 @@ func (s *Scheduler) Run(deadline Time) (Time, error) {
 	if s.Quantum <= 0 {
 		s.Quantum = Microsecond
 	}
+	tel := s.Tel
 	for {
 		// Pick the live process with the earliest readiness.
 		var next *procEntry
+		live := 0
 		for _, e := range s.procs {
 			if e.done {
 				continue
+			}
+			if tel != nil {
+				live++
 			}
 			if next == nil || e.readyAt < next.readyAt {
 				next = e
@@ -207,11 +249,21 @@ func (s *Scheduler) Run(deadline Time) (Time, error) {
 			q = s.Quantum
 		}
 		limit := MinT(next.local+q, deadline)
+		start := next.local
 		local, state, wake := next.p.Run(limit)
 		if local < next.local {
 			local = next.local
 		}
 		next.local = local
+		if tel != nil {
+			tel.Dispatches.Inc()
+			tel.RunQueue.Observe(int64(live))
+			tel.QuantumUsed.Observe(int64(local - start))
+			if next.track == nil {
+				next.track = tel.Sink.Track("sched/" + next.p.Name())
+			}
+			next.track.Span("run", int64(start), int64(local))
+		}
 		switch state {
 		case StateDone:
 			next.done = true

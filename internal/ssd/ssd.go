@@ -17,6 +17,7 @@ import (
 	"assasin/internal/ftl"
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
+	"assasin/internal/telemetry"
 )
 
 // Arch identifies a Table IV configuration.
@@ -124,6 +125,13 @@ type Options struct {
 	// event interleaving; results stay deterministic and are identical
 	// across Exec modes for any fixed value.
 	CoreQuantum sim.Time
+	// Telemetry, when non-nil, enables instrumentation across every
+	// component (scheduler, cores, stream buffers, crossbar, flash, FTL,
+	// firmware): counters/gauges/histograms plus the sim-clock event trace.
+	// Nil (the default) disables everything at nil-pointer-branch cost.
+	// The sink is not goroutine-safe: do not share one sink between SSDs
+	// simulated concurrently.
+	Telemetry *telemetry.Sink
 }
 
 // DefaultFlashConfig is the evaluation geometry: 8 channels × 1 GB/s,
@@ -154,6 +162,7 @@ type SSD struct {
 	Systems []*memhier.System
 
 	nextDataLPA int
+	streamTel   *memhier.StreamTel // shared stream-buffer bundle; nil when disabled
 }
 
 // New assembles an SSD.
@@ -198,6 +207,15 @@ func New(opt Options) *SSD {
 	s.FTL = ftl.New(s.Array, opt.Layout)
 	if !opt.ChannelLocal {
 		s.Xbar = crossbar.New(crossbar.DefaultConfig(opt.Cores))
+	}
+	if tel := opt.Telemetry; tel != nil {
+		s.Sched.Tel = sim.NewSchedTel(tel)
+		s.Array.Tel = flash.NewTel(tel)
+		s.FTL.Tel = ftl.NewTel(tel)
+		if s.Xbar != nil {
+			s.Xbar.Tel = crossbar.NewTel(tel)
+		}
+		s.streamTel = memhier.NewStreamTel(tel)
 	}
 
 	coreClock := sim.NewClock(1e9)
@@ -288,6 +306,10 @@ func New(opt Options) *SSD {
 		for j := range sys.Streams.Out {
 			sys.Streams.Out[j] = memhier.NewOutStream(opt.OutWindowPages, opt.Flash.PageSize)
 		}
+		if opt.Telemetry != nil {
+			eng.AttachTelemetry(opt.Telemetry)
+			sys.Streams.AttachTel(s.streamTel)
+		}
 		if opt.CoreQuantum > 0 {
 			s.Sched.SetQuantum(eng, opt.CoreQuantum)
 		}
@@ -295,6 +317,61 @@ func New(opt Options) *SSD {
 		s.Systems = append(s.Systems, sys)
 	}
 	return s
+}
+
+// PublishStats snapshots cumulative component state — per-channel flash
+// busy time and bytes, crossbar port busy/bytes, FTL write/GC totals, DRAM
+// traffic, and the aggregated L1 cache hit/miss counters — into telemetry
+// gauges. Inline-instrumented counters (stream pushes, crossbar grants,
+// scheduler dispatches...) accumulate as the simulation runs and need no
+// publish step; call this once after the runs of interest. No-op without a
+// telemetry sink.
+func (s *SSD) PublishStats() {
+	tel := s.Opt.Telemetry
+	if tel == nil {
+		return
+	}
+	for c := 0; c < s.Opt.Flash.Channels; c++ {
+		tel.Gauge("flash", fmt.Sprintf("ch%d_busy_ps", c)).Set(int64(s.Array.ChannelBusy(c)))
+		tel.Gauge("flash", fmt.Sprintf("ch%d_bytes", c)).Set(s.Array.ChannelBytes(c))
+	}
+	if s.Xbar != nil {
+		for p := 0; p < s.Xbar.Config().Ports; p++ {
+			tel.Gauge("xbar", fmt.Sprintf("port%d_busy_ps", p)).Set(int64(s.Xbar.PortBusy(p)))
+			tel.Gauge("xbar", fmt.Sprintf("port%d_bytes", p)).Set(s.Xbar.PortBytes(p))
+		}
+	}
+	fs := s.FTL.Stats()
+	tel.Gauge("ftl", "host_writes").Set(fs.HostWrites)
+	tel.Gauge("ftl", "gc_writes").Set(fs.GCWrites)
+	tel.Gauge("ftl", "erases").Set(fs.Erases)
+	tel.Gauge("ftl", "gc_invocations").Set(fs.GCInvocations)
+	tel.Gauge("dram", "total_bytes").Set(s.DRAM.TotalBytes())
+	// Unify the existing per-cache hit/miss stats into the metrics export,
+	// aggregated across cores (cached architectures only).
+	var cs memhier.CacheStats
+	withCache := 0
+	for _, sys := range s.Systems {
+		if sys.L1 == nil {
+			continue
+		}
+		withCache++
+		st := sys.L1.Stats()
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Evictions += st.Evictions
+		cs.Writebacks += st.Writebacks
+		cs.PrefetchIssued += st.PrefetchIssued
+		cs.PrefetchUseful += st.PrefetchUseful
+	}
+	if withCache > 0 {
+		tel.Gauge("cache", "l1_hits").Set(cs.Hits)
+		tel.Gauge("cache", "l1_misses").Set(cs.Misses)
+		tel.Gauge("cache", "l1_evictions").Set(cs.Evictions)
+		tel.Gauge("cache", "l1_writebacks").Set(cs.Writebacks)
+		tel.Gauge("cache", "l1_prefetch_issued").Set(cs.PrefetchIssued)
+		tel.Gauge("cache", "l1_prefetch_useful").Set(cs.PrefetchUseful)
+	}
 }
 
 // DataPath returns the firmware data path for this architecture.
@@ -391,6 +468,7 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 		PageSize: s.Opt.Flash.PageSize,
 		Path:     s.DataPath(),
 	}, s.Sched, s.FTL, s.DRAM, s.Xbar)
+	engine.Tel = firmware.NewTel(s.Opt.Telemetry)
 
 	start := s.Sched.Now()
 	var fwTasks []firmware.Task
@@ -403,6 +481,8 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 		for j := range s.Systems[i].Streams.Out {
 			s.Systems[i].Streams.Out[j] = memhier.NewOutStream(s.Opt.OutWindowPages, s.Opt.Flash.PageSize)
 		}
+		// Fresh streams need the shared telemetry bundle re-attached.
+		s.Systems[i].Streams.AttachTel(s.streamTel)
 		core.LoadProgram(t.Program)
 		for r, v := range t.Regs {
 			core.SetReg(r, v)

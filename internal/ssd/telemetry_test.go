@@ -1,0 +1,203 @@
+package ssd
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"assasin/internal/cpu"
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+	"assasin/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden telemetry trace under testdata/")
+
+// runStatTelemetry offloads a tiny Table II Stat workload (the survey's
+// first row) on a fresh AssasinSb drive with the given sink attached.
+func runStatTelemetry(t *testing.T, tel *telemetry.Sink, mode cpu.ExecMode) *Result {
+	t.Helper()
+	data := makeWords(16<<10, 7)
+	tel.StartRun("Stat/AssasinSb")
+	s := New(Options{Arch: AssasinSb, Cores: 2, Exec: mode, Telemetry: tel})
+	lpas, err := s.InstallBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunKernel(KernelRun{
+		Kernel:     kernels.Stat{},
+		Inputs:     [][]int{lpas},
+		InputBytes: []int64{int64(len(data))},
+		RecordSize: 4,
+		Cores:      2,
+		OutKind:    firmware.OutDiscard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PublishStats()
+	return res
+}
+
+func TestTelemetryCountersNonzero(t *testing.T) {
+	tel := telemetry.NewSink()
+	runStatTelemetry(t, tel, cpu.ExecFused)
+
+	for _, c := range [][2]string{
+		{"flash", "senses"},
+		{"flash", "transfers"},
+		{"flash", "transfer_bytes"},
+		{"xbar", "grants"},
+		{"xbar", "bytes"},
+		{"stream", "push_pages"},
+		{"stream", "push_bytes"},
+		{"ftl", "lookups"},
+		{"sched", "dispatches"},
+		{"fw", "pages_fed"},
+		{"fw", "tasks_submitted"},
+		{"fw", "tasks_completed"},
+	} {
+		if v := tel.CounterValue(c[0], c[1]); v <= 0 {
+			t.Errorf("counter %s/%s = %d, want > 0", c[0], c[1], v)
+		}
+	}
+	snap := tel.Metrics()
+	if g, ok := snap.Gauges["flash/ch0_busy_ps"]; !ok || g.Value <= 0 {
+		t.Errorf("flash/ch0_busy_ps gauge = %+v, want > 0", g)
+	}
+	if snap.TraceEvents == 0 {
+		t.Error("no trace events recorded")
+	}
+	if snap.TraceDropped != 0 {
+		t.Errorf("dropped %d events on a tiny workload", snap.TraceDropped)
+	}
+}
+
+// TestTelemetryGoldenChromeTrace pins the exported Chrome trace for the
+// tiny Stat workload. The simulation is deterministic, so the file is
+// byte-stable; regenerate with go test ./internal/ssd -run Golden -update
+// after an intentional timing or instrumentation change.
+func TestTelemetryGoldenChromeTrace(t *testing.T) {
+	tel := telemetry.NewSink()
+	runStatTelemetry(t, tel, cpu.ExecFused)
+
+	var buf bytes.Buffer
+	if err := tel.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Structural validity regardless of golden contents.
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty traceEvents")
+	}
+	var spans, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+			if e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("negative span timing: %+v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans == 0 || instants == 0 || meta == 0 {
+		t.Fatalf("trace missing event classes: %d spans, %d instants, %d metadata", spans, instants, meta)
+	}
+
+	golden := filepath.Join("testdata", "golden_trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace deviates from %s (%d vs %d bytes); run with -update if the change is intentional",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestTelemetryFusedPreciseReconcile checks that the fused macro-execution
+// engine and the precise interpreter emit identical traces: the fused
+// engine's invariant (every Run call returns at the same local-time
+// boundary) means span boundaries, instants, and metrics all agree at
+// dispatch-slice granularity.
+func TestTelemetryFusedPreciseReconcile(t *testing.T) {
+	telF := telemetry.NewSink()
+	telP := telemetry.NewSink()
+	runStatTelemetry(t, telF, cpu.ExecFused)
+	runStatTelemetry(t, telP, cpu.ExecPrecise)
+
+	evF, evP := telF.Events(), telP.Events()
+	if len(evF) == 0 {
+		t.Fatal("fused run recorded no events")
+	}
+	if len(evF) != len(evP) {
+		t.Fatalf("event count mismatch: fused %d, precise %d", len(evF), len(evP))
+	}
+	for i := range evF {
+		f, err := json.Marshal(evF[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := json.Marshal(evP[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f, p) {
+			t.Fatalf("event %d diverges:\n  fused:   %s\n  precise: %s", i, f, p)
+		}
+	}
+
+	// The "exec" spans specifically must exist and reconcile — they are the
+	// per-dispatch compute record both engines emit.
+	var execSpans int
+	for _, e := range evF {
+		if e.Name == "exec" {
+			execSpans++
+		}
+	}
+	if execSpans == 0 {
+		t.Fatal("no exec spans recorded")
+	}
+
+	// Metrics agree too (instruction-level counters are mode-independent).
+	var bufF, bufP bytes.Buffer
+	if err := telF.WriteMetricsJSON(&bufF); err != nil {
+		t.Fatal(err)
+	}
+	if err := telP.WriteMetricsJSON(&bufP); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufF.Bytes(), bufP.Bytes()) {
+		t.Error("metrics snapshots diverge between fused and precise modes")
+	}
+}

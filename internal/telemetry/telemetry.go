@@ -1,0 +1,263 @@
+// Package telemetry is the simulator-wide observability layer: typed
+// counters, gauges and histograms registered per component, plus a
+// sim-clock-driven event trace exportable as Chrome trace-event JSON
+// (loadable in Perfetto / chrome://tracing) and as a flat metrics JSON.
+//
+// Zero-cost contract: instrumentation is enabled by handing components a
+// *Sink (ssd.Options.Telemetry); when disabled every component holds nil
+// metric/track pointers and every method on Counter, Gauge, Histogram and
+// Track is nil-receiver safe, so a disabled call site compiles to a branch
+// on a nil pointer with no allocation. Hot paths (the core interpreter's
+// per-instruction loop, stream gather/append) are never instrumented
+// per-event — counters are bumped at page/run-slice granularity on paths
+// that already do real work.
+//
+// Timestamps are simulated time in integer picoseconds passed as int64.
+// The package deliberately does not import internal/sim so that every
+// simulator package — including sim itself — can depend on it.
+//
+// A Sink is not goroutine-safe: it belongs to one simulation goroutine
+// (cmd wiring forces sequential runs when telemetry is enabled).
+package telemetry
+
+import "fmt"
+
+// Kind discriminates the metric types a (component, name) pair can hold.
+type Kind int
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// metricKey identifies one registered metric.
+type metricKey struct{ component, name string }
+
+// Counter is a monotonically increasing count. The zero receiver (nil) is a
+// valid disabled counter: all methods are no-ops.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-value metric that also tracks its maximum. Nil-safe.
+type Gauge struct {
+	v, max int64
+	set    bool
+}
+
+// Set records v as the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.v = v
+	g.set = true
+}
+
+// Value returns the last set value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Max returns the largest value ever set.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Histogram accumulates a distribution in power-of-two buckets: bucket i
+// counts observations v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0).
+// Nil-safe.
+type Histogram struct {
+	buckets [65]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 1
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// MaxValue returns the largest observation.
+func (h *Histogram) MaxValue() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Sink is one telemetry collection domain: a metric registry plus a trace
+// buffer. The nil *Sink is valid and disabled: registration methods return
+// nil metrics/tracks whose methods are no-ops.
+type Sink struct {
+	kinds    map[metricKey]Kind
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+
+	runs []*traceRun
+	cur  *traceRun
+
+	events []event
+	// MaxEvents bounds the trace buffer; events past the cap are counted in
+	// dropped (surfaced in the metrics export) rather than silently lost.
+	MaxEvents int
+	dropped   int64
+}
+
+// NewSink returns an empty enabled sink.
+func NewSink() *Sink {
+	return &Sink{
+		kinds:     make(map[metricKey]Kind),
+		counters:  make(map[metricKey]*Counter),
+		gauges:    make(map[metricKey]*Gauge),
+		hists:     make(map[metricKey]*Histogram),
+		MaxEvents: 4_000_000,
+	}
+}
+
+// register checks the collision rule: a (component, name) pair may be
+// registered any number of times with the same kind (get-or-create) but
+// never with two different kinds.
+func (s *Sink) register(component, name string, k Kind) metricKey {
+	key := metricKey{component, name}
+	if have, ok := s.kinds[key]; ok {
+		if have != k {
+			panic(fmt.Sprintf("telemetry: %s/%s already registered as %v, re-registered as %v",
+				component, name, have, k))
+		}
+		return key
+	}
+	s.kinds[key] = k
+	return key
+}
+
+// Counter returns the counter registered under (component, name), creating
+// it on first use. Returns nil on a nil sink. Panics if the pair is already
+// registered as a different metric kind.
+func (s *Sink) Counter(component, name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	key := s.register(component, name, KindCounter)
+	c := s.counters[key]
+	if c == nil {
+		c = &Counter{}
+		s.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under (component, name), creating it
+// on first use. Nil-sink and collision behavior match Counter.
+func (s *Sink) Gauge(component, name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	key := s.register(component, name, KindGauge)
+	g := s.gauges[key]
+	if g == nil {
+		g = &Gauge{}
+		s.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under (component, name),
+// creating it on first use. Nil-sink and collision behavior match Counter.
+func (s *Sink) Histogram(component, name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	key := s.register(component, name, KindHistogram)
+	h := s.hists[key]
+	if h == nil {
+		h = &Histogram{}
+		s.hists[key] = h
+	}
+	return h
+}

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Compares a fresh quick-scale bench run against the committed baselines in
+# bench/: prints per-experiment wall-time deltas and fails if any experiment
+# regressed by more than the threshold (simulator performance gate).
+#
+# Usage: scripts/bench-compare.sh [threshold-percent]   (default 10)
+#
+# Simulated results (rows) are deterministic, so only wall_seconds moves
+# between runs; -verify keeps the functional cross-checks on as well.
+set -eu
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${1:-10}"
+OUT="$(mktemp -d)"
+trap 'rm -rf "$OUT"' EXIT
+
+go run ./cmd/assasin-bench -quick -verify -exp all -json "$OUT" >/dev/null
+
+# wall_seconds extraction without jq: the envelope is indented JSON with one
+# "wall_seconds" key per file.
+wall() {
+	sed -n 's/.*"wall_seconds": *\([0-9.eE+-]*\).*/\1/p' "$1" | head -n 1
+}
+
+fail=0
+printf '%-12s %10s %10s %8s\n' experiment baseline fresh delta
+for base in bench/BENCH_*.json; do
+	name=$(basename "$base" .json | sed 's/^BENCH_//')
+	fresh="$OUT/$(basename "$base")"
+	if [ ! -f "$fresh" ]; then
+		echo "bench-compare: missing fresh result for $name" >&2
+		fail=1
+		continue
+	fi
+	old=$(wall "$base")
+	new=$(wall "$fresh")
+	line=$(awk -v o="$old" -v n="$new" -v name="$name" -v thr="$THRESHOLD" 'BEGIN {
+		delta = (o > 0) ? 100 * (n - o) / o : 0
+		flag = (delta > thr) ? "  REGRESSED" : ""
+		printf "%-12s %9.2fs %9.2fs %+7.1f%%%s\n", name, o, n, delta, flag
+		exit (delta > thr) ? 1 : 0
+	}') || fail=1
+	echo "$line"
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "bench-compare: wall-time regression beyond ${THRESHOLD}% (or missing results)" >&2
+	exit 1
+fi
+echo "bench-compare: all experiments within ${THRESHOLD}% of committed baselines"
