@@ -10,18 +10,20 @@ build:
 test: build
 	go test ./...
 
-# The data-race gate for the packages the fused interpreter touches, plus
-# the telemetry sink (documented single-threaded; the race gate catches
-# accidental sharing from tests).
+# The data-race gate for the packages the fused interpreter touches, the
+# telemetry sink (documented single-threaded; the race gate catches
+# accidental sharing from tests), and the observability layer that serves
+# concurrent scrapers against a running simulation.
 race:
-	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/...
+	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
 
 # The full continuous-integration gate (mirrored by the GitHub workflow).
 ci:
 	go vet ./...
 	go build ./...
 	go test ./...
-	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/...
+	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
+	scripts/serve-smoke.sh
 
 # Quick micro-benchmark pass (3 samples; use bench-baseline for the
 # committed 5-sample baselines).

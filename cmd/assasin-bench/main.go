@@ -11,6 +11,7 @@
 //	assasin-bench -parallel 1         # force sequential simulation runs
 //	assasin-bench -json out/          # also write BENCH_<exp>.json files
 //	assasin-bench -exp table2 -quick -trace t.json -metrics m.json
+//	assasin-bench -exp table2 -quick -report  # per-run stall attribution
 package main
 
 import (
@@ -24,9 +25,11 @@ import (
 
 	"assasin/internal/cpu"
 	"assasin/internal/experiments"
+	"assasin/internal/obs"
 	"assasin/internal/profiling"
 	"assasin/internal/runpool"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
 )
 
 // stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
@@ -46,6 +49,8 @@ func main() {
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto; forces -parallel 1)")
 		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file (forces -parallel 1)")
+		report   = flag.Bool("report", false, "print a per-run bottleneck-attribution report (forces -parallel 1)")
+		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -60,6 +65,12 @@ func main() {
 	}
 	stopProfiles = stop
 	defer stop()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	runpool.SetLogger(log)
 
 	cfg := experiments.Default()
 	if *quick {
@@ -78,20 +89,41 @@ func main() {
 		cfg.KernelMB = *mb
 	}
 	cfg.Workers = *parallel
+	cfg.Log = log
 	mode, err := cpu.ParseExecMode(*execMode)
 	if err != nil {
 		fatal(err)
 	}
 	cfg.Exec = mode
 
+	// The telemetry sink is single-goroutine and -report wants deterministic
+	// run ids, so any of these flags force sequential simulation.
+	var forcedBy []string
+	if *tracePth != "" {
+		forcedBy = append(forcedBy, "-trace")
+	}
+	if *metrPth != "" {
+		forcedBy = append(forcedBy, "-metrics")
+	}
+	if *report {
+		forcedBy = append(forcedBy, "-report")
+	}
+	if workers, warning := runpool.SequentialOverride(cfg.Workers, forcedBy...); warning != "" {
+		fmt.Fprintln(os.Stderr, "assasin-bench: "+warning)
+		cfg.Workers = workers
+	}
+
 	var tel *telemetry.Sink
 	if *tracePth != "" || *metrPth != "" {
 		tel = telemetry.NewSink()
+		tel.Log = log
 		cfg.Telemetry = tel
-		// The sink is not goroutine-safe: telemetry runs are sequential.
-		if cfg.Workers != 1 {
-			fmt.Fprintln(os.Stderr, "assasin-bench: telemetry enabled, forcing -parallel 1")
-			cfg.Workers = 1
+	}
+	var coll *obs.Collector
+	if *report {
+		coll = obs.NewCollector()
+		cfg.OnRunDone = func(rec experiments.RunRecord) {
+			coll.ObserveRun(rec.AttributionRun())
 		}
 	}
 
@@ -110,9 +142,10 @@ func main() {
 		}
 	}
 
+	var runner experiments.Runner
 	for _, name := range names {
 		start := time.Now()
-		rows, text, err := run(name, cfg)
+		rows, text, err := runner.Run(name, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
 			stopProfiles()
@@ -133,6 +166,25 @@ func main() {
 			}
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, wall)
+	}
+
+	if coll != nil {
+		reports := coll.Reports()
+		analyze.SortReports(reports)
+		fmt.Print(analyze.FormatReports(reports))
+		if *jsonDir != "" {
+			f, err := os.Create(filepath.Join(*jsonDir, "BENCH_report.json"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := analyze.WriteJSON(f, reports); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("[attribution: %s, %d runs]\n", filepath.Join(*jsonDir, "BENCH_report.json"), len(reports))
+		}
 	}
 
 	if tel != nil {
@@ -180,141 +232,4 @@ func writeJSON(dir, name string, cfg experiments.Config, rows any, wall float64,
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(b, '\n'), 0o644)
-}
-
-// cached cross-experiment results (fig16 feeds fig17/fig18; fig21 feeds
-// fig22).
-var (
-	fig16Cache []experiments.Fig16Point
-	fig21Cache []experiments.Fig13Row
-)
-
-func fig16Points(cfg experiments.Config) ([]experiments.Fig16Point, error) {
-	if fig16Cache != nil {
-		return fig16Cache, nil
-	}
-	p, err := experiments.Fig16(cfg)
-	if err == nil {
-		fig16Cache = p
-	}
-	return p, err
-}
-
-func fig21Rows(cfg experiments.Config) ([]experiments.Fig13Row, error) {
-	if fig21Cache != nil {
-		return fig21Cache, nil
-	}
-	r, err := experiments.Fig21(cfg)
-	if err == nil {
-		fig21Cache = r
-	}
-	return r, err
-}
-
-// run executes one experiment and returns its structured rows (for -json)
-// and rendered text.
-func run(name string, cfg experiments.Config) (any, string, error) {
-	switch name {
-	case "table2":
-		rows, err := experiments.Table2(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.FormatTable2(rows), nil
-	case "ablation":
-		wrows, err := experiments.AblationWindow(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		drows, err := experiments.AblationDRAM(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		m, err := experiments.MixedIO(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		rows := struct {
-			Window []experiments.AblationWindowRow `json:"window"`
-			DRAM   []experiments.AblationDRAMRow   `json:"dram"`
-			Mixed  *experiments.MixedIOResult      `json:"mixed_io"`
-		}{wrows, drows, m}
-		text := experiments.FormatAblationWindow(wrows) +
-			experiments.FormatAblationDRAM(drows) +
-			experiments.FormatMixedIO(m)
-		return rows, text, nil
-	case "table4":
-		t := experiments.Table4(cfg)
-		return t, t, nil
-	case "fig5":
-		r, err := experiments.Fig5(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return r, experiments.FormatFig5(r), nil
-	case "fig13":
-		rows, err := experiments.Fig13(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.FormatFig13("Fig 13", rows), nil
-	case "fig14":
-		rows, err := experiments.Fig14(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.FormatFig14("Fig 14", rows), nil
-	case "fig15":
-		rows, err := experiments.Fig15(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.FormatFig15(rows), nil
-	case "fig16":
-		p, err := fig16Points(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return p, experiments.FormatFig16(p), nil
-	case "fig17":
-		p, err := fig16Points(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return p, experiments.FormatFig17(p), nil
-	case "fig18":
-		p, err := fig16Points(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return p, experiments.FormatFig18(p), nil
-	case "fig19":
-		p, err := experiments.Fig19(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return p, experiments.FormatFig19(p), nil
-	case "fig20":
-		r := experiments.Fig20()
-		return r, experiments.FormatFig20(r), nil
-	case "fig21":
-		rows, err := fig21Rows(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		return rows, experiments.FormatFig13("Fig 21 (timing-adjusted)", rows), nil
-	case "table5":
-		t := experiments.FormatTable5(cfg.Cores)
-		return t, t, nil
-	case "fig22":
-		rows, err := fig21Rows(cfg)
-		if err != nil {
-			return nil, "", err
-		}
-		speedups := experiments.SpeedupSummary(rows)
-		r := experiments.Fig22(speedups, cfg.Cores)
-		return r, experiments.FormatFig22(r), nil
-	default:
-		return nil, "", fmt.Errorf("unknown experiment %q", name)
-	}
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBench compiles the command once per test binary.
+func buildBench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "assasin-bench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestCLISequentialOverrideWarning checks the stderr warning when telemetry
+// flags force sequential simulation: it must name both the forcing flag and
+// the -parallel value it overrides. table5 is a static artifact, so the run
+// is instant.
+func TestCLISequentialOverrideWarning(t *testing.T) {
+	bin := buildBench(t)
+	trace := filepath.Join(t.TempDir(), "t.json")
+
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-exp", "table5", "-quick", "-parallel", "4", "-trace", trace)
+	cmd.Stdout = new(bytes.Buffer)
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	warn := stderr.String()
+	for _, want := range []string{"-trace", "-parallel 4", "-parallel 1"} {
+		if !strings.Contains(warn, want) {
+			t.Errorf("stderr warning %q does not mention %q", warn, want)
+		}
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Errorf("trace file not written: %v", err)
+	}
+
+	// No telemetry flags, explicit -parallel: no warning.
+	stderr.Reset()
+	cmd = exec.Command(bin, "-exp", "table5", "-quick", "-parallel", "4")
+	cmd.Stdout = new(bytes.Buffer)
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	if s := stderr.String(); strings.Contains(s, "forces sequential") {
+		t.Errorf("unexpected warning without telemetry flags: %q", s)
+	}
+}
+
+// TestCLIReportFlag checks that -report prints the cross-run attribution
+// table after a real (tiny) experiment.
+func TestCLIReportFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run skipped in -short")
+	}
+	bin := buildBench(t)
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "-exp", "fig5", "-quick", "-mb", "0.125", "-report")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"largest-stall", "cache-dram", "filter/Baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-report output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command assasin-serve runs the benchmark experiments with a live
+// observability server attached: while the fan-out executes, the HTTP
+// endpoints expose Prometheus text-format metrics, per-run bottleneck
+// attribution reports, pprof profiles, and health/readiness probes.
+//
+// Usage:
+//
+//	assasin-serve                            # all experiments, port chosen by the OS
+//	assasin-serve -addr 127.0.0.1:9090       # fixed port
+//	assasin-serve -exp table2,fig13 -quick   # subset at test scale
+//	assasin-serve -once -quick               # exit when the experiments finish
+//
+// Endpoints: /healthz, /readyz, /metrics, /runs, /runs/{id}/report,
+// /debug/pprof/. Scraping never perturbs simulation results: the sim
+// goroutine publishes immutable snapshots at run boundaries and the
+// handlers only read published state.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"assasin/internal/cpu"
+	"assasin/internal/experiments"
+	"assasin/internal/obs"
+	"assasin/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address (port 0 lets the OS choose)")
+		exp      = flag.String("exp", "all", "comma-separated experiments: all, "+strings.Join(experiments.ExperimentIDs(), ", "))
+		quick    = flag.Bool("quick", false, "use the small test-scale configuration")
+		verify   = flag.Bool("verify", false, "cross-check offload outputs against reference implementations")
+		cores    = flag.Int("cores", 0, "override compute engine count")
+		sf       = flag.Float64("sf", 0, "override TPC-H scale factor")
+		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
+		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
+		once     = flag.Bool("once", false, "exit once the experiments finish instead of serving until interrupted")
+		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+	)
+	flag.Parse()
+
+	log, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *verify {
+		cfg.Verify = true
+	}
+	if *cores > 0 {
+		cfg.Cores = *cores
+	}
+	if *sf > 0 {
+		cfg.TPCHScale = *sf
+	}
+	if *mb > 0 {
+		cfg.KernelMB = *mb
+	}
+	if err := experiments.ValidateOverrides(cfg.Cores, 1, cfg.TPCHScale, cfg.KernelMB); err != nil {
+		fatal(err)
+	}
+	mode, err := cpu.ParseExecMode(*execMode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Exec = mode
+	cfg.Log = log
+
+	names := strings.Split(*exp, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	if *exp == "all" {
+		names = experiments.ExperimentIDs()
+	} else if err := experiments.ValidateNames(names); err != nil {
+		fatal(err)
+	}
+
+	// The telemetry sink is single-goroutine, so the experiment loop runs
+	// sequentially; the HTTP side only ever reads published snapshots.
+	tel := telemetry.NewSink()
+	tel.Log = log
+	cfg.Telemetry = tel
+	cfg.Workers = 1
+	coll := obs.NewCollector()
+	cfg.OnRunDone = func(rec experiments.RunRecord) {
+		coll.ObserveRun(rec.AttributionRun())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assasin-serve: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: obs.NewHandler(coll)}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}()
+	coll.MarkReady()
+
+	runErr := make(chan error, 1)
+	go func() {
+		var runner experiments.Runner
+		for _, name := range names {
+			log.Info("experiment start", "exp", name)
+			start := time.Now()
+			_, text, err := runner.Run(name, cfg)
+			if err != nil {
+				log.Error("experiment failed", "exp", name, "err", err)
+				runErr <- err
+				return
+			}
+			fmt.Print(text)
+			coll.PublishMetrics(tel.Metrics())
+			log.Info("experiment complete", "exp", name,
+				"wall_seconds", time.Since(start).Seconds(), "runs", coll.RunsCompleted())
+		}
+		runErr <- nil
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var failed bool
+	if *once {
+		select {
+		case err := <-runErr:
+			failed = err != nil
+		case <-sig:
+		}
+	} else {
+		<-sig
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Warn("server shutdown", "err", err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "assasin-serve: %v\n", err)
+	os.Exit(2)
+}

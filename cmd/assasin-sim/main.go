@@ -20,9 +20,11 @@ import (
 	"assasin/internal/cpu"
 	"assasin/internal/firmware"
 	"assasin/internal/kernels"
+	"assasin/internal/obs"
 	"assasin/internal/profiling"
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
 )
 
 // stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
@@ -40,6 +42,8 @@ func main() {
 		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file")
+		report   = flag.Bool("report", false, "print the run's bottleneck-attribution report")
+		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
 	)
@@ -70,12 +74,17 @@ func main() {
 	stopProfiles = stop
 	defer stop()
 
+	log, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fail(err)
+	}
 	var tel *telemetry.Sink
-	if *tracePth != "" || *metrPth != "" {
+	if *tracePth != "" || *metrPth != "" || *report {
 		tel = telemetry.NewSink()
+		tel.Log = log
 		tel.StartRun(fmt.Sprintf("%s/%s", *archName, *kernel))
 	}
-	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, Telemetry: tel})
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, Telemetry: tel, Log: log})
 	size := int(*mb * (1 << 20))
 	size -= size % 64
 	var lpaLists [][]int
@@ -123,8 +132,32 @@ func main() {
 	fmt.Printf("  DRAM traffic %.2f MB (util %.0f%%)\n",
 		float64(s.DRAM.TotalBytes())/(1<<20), 100*s.DRAM.Utilization(res.Duration))
 
-	if tel != nil {
+	if tel != nil || *report {
 		s.PublishStats()
+	}
+	if *report {
+		run := analyze.Run{
+			Label:      fmt.Sprintf("%s/%v", k.Name(), arch),
+			Kernel:     k.Name(),
+			Arch:       arch.String(),
+			Cores:      *cores,
+			DurationPs: int64(res.Duration),
+			InputBytes: res.InputBytes,
+		}
+		for _, st := range res.CoreStats {
+			run.BusyPs += int64(st.BusyTime)
+			run.CacheDRAMWaitPs += int64(st.StallTime[cpu.StallMem])
+			run.StreamRefillWaitPs += int64(st.StallTime[cpu.StallStreamWait])
+			run.OutFullWaitPs += int64(st.StallTime[cpu.StallOutFull])
+			run.ExecStallPs += int64(st.StallTime[cpu.StallExec])
+		}
+		if tel != nil {
+			snap := tel.Metrics()
+			run.Metrics = &snap
+		}
+		fmt.Print(analyze.FormatReport(analyze.Attribute(run)))
+	}
+	if tel != nil {
 		if *tracePth != "" {
 			if err := tel.WriteChromeTraceFile(*tracePth); err != nil {
 				fail(err)

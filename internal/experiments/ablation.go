@@ -33,7 +33,7 @@ func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 	depths := []int{1, 2, 4, 8, 16}
 	return runpool.Map(cfg.workers(), len(depths), func(i int) (AblationWindowRow, error) {
 		p := depths[i]
-		r, err := runStandalone(runOpts{
+		r, err := runStandalone(cfg.instrument(runOpts{
 			arch:        ssd.AssasinSb,
 			cores:       cfg.Cores,
 			kernel:      kernels.Scan{},
@@ -42,8 +42,7 @@ func AblationWindow(cfg Config) ([]AblationWindowRow, error) {
 			outKind:     firmware.OutDiscard,
 			windowPages: p,
 			exec:        cfg.Exec,
-			telemetry:   cfg.Telemetry,
-		})
+		}))
 		if err != nil {
 			return AblationWindowRow{}, fmt.Errorf("window %d: %w", p, err)
 		}
@@ -88,6 +87,7 @@ func AblationDRAM(cfg Config) ([]AblationDRAMRow, error) {
 			DRAM:      memhier.DRAMConfig{BandwidthBytesPerSec: bw, Latency: 60 * sim.Nanosecond},
 			Exec:      cfg.Exec,
 			Telemetry: cfg.Telemetry,
+			Log:       cfg.Log,
 		})
 		lpas, err := s.InstallBytes(data)
 		if err != nil {
@@ -154,7 +154,7 @@ func MixedIO(cfg Config) (*MixedIOResult, error) {
 			cfg.Telemetry.StartRun(label)
 		}
 		s := ssd.New(ssd.Options{Arch: ssd.AssasinSb, Cores: cfg.Cores,
-			Exec: cfg.Exec, Telemetry: cfg.Telemetry})
+			Exec: cfg.Exec, Telemetry: cfg.Telemetry, Log: cfg.Log})
 		data := randData(int(cfg.ScanMB*(1<<20)), 33)
 		lpas, err := s.InstallBytes(data)
 		if err != nil {

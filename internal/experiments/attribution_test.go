@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+	"assasin/internal/ssd"
+	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden attribution report under testdata/")
+
+// attributionRun executes one Table II workload with OnRunDone wired and
+// returns the captured record.
+func attributionRun(t *testing.T, arch ssd.Arch, k kernels.Kernel, recordSize int, data []byte, tel *telemetry.Sink) RunRecord {
+	t.Helper()
+	var rec RunRecord
+	_, err := runStandalone(runOpts{
+		arch:       arch,
+		cores:      2,
+		kernel:     k,
+		inputs:     [][]byte{data},
+		recordSize: recordSize,
+		outKind:    firmware.OutDiscard,
+		telemetry:  tel,
+		onRunDone:  func(r RunRecord) { rec = r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label == "" {
+		t.Fatal("OnRunDone was not invoked")
+	}
+	return rec
+}
+
+// TestMemoryWallAttribution is the paper's in-SSD memory-wall narrative as
+// an assertion: on the Table II Stat workload the Baseline CSSD's largest
+// stall class is the cache/DRAM wait, while AssasinSb's stream buffers keep
+// the cores fed so core-busy becomes the largest class outright.
+func TestMemoryWallAttribution(t *testing.T) {
+	data := randData(256<<10, 7)
+
+	base := analyze.Attribute(attributionRun(t, ssd.Baseline, kernels.Stat{}, 4, data, nil).AttributionRun())
+	if base.LargestStall != analyze.ClassCacheDRAMWait {
+		t.Errorf("Baseline largest stall = %s, want %s\n%s",
+			base.LargestStall, analyze.ClassCacheDRAMWait, analyze.FormatReport(base))
+	}
+	if f := base.ClassFrac(analyze.ClassCacheDRAMWait); f < 0.25 {
+		t.Errorf("Baseline cache/DRAM wait fraction = %.3f, want >= 0.25", f)
+	}
+
+	sb := analyze.Attribute(attributionRun(t, ssd.AssasinSb, kernels.Stat{}, 4, data, nil).AttributionRun())
+	if sb.LargestClass != analyze.ClassCoreBusy {
+		t.Errorf("AssasinSb largest class = %s, want %s\n%s",
+			sb.LargestClass, analyze.ClassCoreBusy, analyze.FormatReport(sb))
+	}
+	if got, want := sb.ClassFrac(analyze.ClassCacheDRAMWait), 0.01; got > want {
+		t.Errorf("AssasinSb cache/DRAM wait fraction = %.3f, want <= %.2f", got, want)
+	}
+	if sb.ThroughputBps <= base.ThroughputBps {
+		t.Errorf("AssasinSb throughput %.0f <= Baseline %.0f", sb.ThroughputBps, base.ThroughputBps)
+	}
+}
+
+// TestStreamRefillNearZero checks the flip side on a compute-bound Table II
+// workload (AES): ASSASIN's stream buffers eliminate refill waits almost
+// entirely, while the Baseline still pays its largest stall to cache/DRAM.
+func TestStreamRefillNearZero(t *testing.T) {
+	data := randData(64<<10, 9)
+
+	sb := analyze.Attribute(attributionRun(t, ssd.AssasinSb, kernels.AES{}, 16, data, nil).AttributionRun())
+	if f := sb.ClassFrac(analyze.ClassStreamRefillWait); f > 0.05 {
+		t.Errorf("AssasinSb stream-refill fraction = %.3f, want <= 0.05", f)
+	}
+	if sb.LargestClass != analyze.ClassCoreBusy {
+		t.Errorf("AssasinSb largest class = %s, want %s", sb.LargestClass, analyze.ClassCoreBusy)
+	}
+
+	base := analyze.Attribute(attributionRun(t, ssd.Baseline, kernels.AES{}, 16, data, nil).AttributionRun())
+	if base.LargestStall != analyze.ClassCacheDRAMWait {
+		t.Errorf("Baseline largest stall = %s, want %s\n%s",
+			base.LargestStall, analyze.ClassCacheDRAMWait, analyze.FormatReport(base))
+	}
+}
+
+// TestGoldenAttributionReport pins the full attribution JSON for the Stat
+// memory-wall pair, telemetry attached (so component utilization and
+// counter deltas are covered too). The simulation is deterministic, so the
+// report is byte-stable; regenerate with
+// go test ./internal/experiments -run GoldenAttribution -update
+// after an intentional timing or instrumentation change.
+func TestGoldenAttributionReport(t *testing.T) {
+	data := randData(256<<10, 7)
+	tel := telemetry.NewSink()
+
+	var reports []*analyze.RunReport
+	var prev *telemetry.MetricsSnapshot
+	for _, arch := range []ssd.Arch{ssd.Baseline, ssd.AssasinSb} {
+		rec := attributionRun(t, arch, kernels.Stat{}, 4, data, tel)
+		run := rec.AttributionRun()
+		run.Prev = prev
+		reports = append(reports, analyze.Attribute(run))
+		prev = rec.Metrics
+	}
+	analyze.SortReports(reports)
+
+	var buf bytes.Buffer
+	if err := analyze.WriteJSON(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_attribution.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("attribution report deviates from %s (%d vs %d bytes); run with -update if the change is intentional",
+			golden, buf.Len(), len(want))
+	}
+}

@@ -12,6 +12,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 
@@ -50,6 +51,14 @@ type Config struct {
 	// builds. The sink is not goroutine-safe, so callers must keep
 	// Workers <= 1 when setting it (cmd/assasin-bench enforces this).
 	Telemetry *telemetry.Sink `json:"-"`
+	// OnRunDone, when non-nil, receives a record of every completed
+	// standalone run: label, per-core cycle decomposition, and (when
+	// Telemetry is set) the post-run metrics snapshot. It is invoked on
+	// the simulation goroutine, so like Telemetry it requires Workers <= 1.
+	OnRunDone func(RunRecord) `json:"-"`
+	// Log, when non-nil, receives run lifecycle events (start/finish at
+	// Debug/Info). Handlers must be goroutine-safe when Workers > 1.
+	Log *slog.Logger `json:"-"`
 }
 
 // workers returns the effective pool width for fan-out sites.
@@ -114,6 +123,20 @@ type runOpts struct {
 	// opens a trace run labeled "<kernel>/<arch>" and publishes the
 	// component snapshot gauges after the run.
 	telemetry *telemetry.Sink
+	// onRunDone, when non-nil, receives the completed run's RunRecord
+	// (with a metrics snapshot when telemetry is set).
+	onRunDone func(RunRecord)
+	// log, when non-nil, receives run lifecycle events.
+	log *slog.Logger
+}
+
+// instrument copies the Config-level observability hooks into the run
+// options so every runStandalone call site stays a one-liner.
+func (c Config) instrument(o runOpts) runOpts {
+	o.telemetry = c.Telemetry
+	o.onRunDone = c.OnRunDone
+	o.log = c.Log
+	return o
 }
 
 // runResult is one run's measurements.
@@ -128,8 +151,12 @@ func (r *runResult) throughput() float64 { return r.res.Throughput() }
 // runStandalone builds a fresh SSD, installs the inputs, and runs the
 // kernel across the cores.
 func runStandalone(o runOpts) (*runResult, error) {
+	label := fmt.Sprintf("%s/%v", o.kernel.Name(), o.arch)
 	if o.telemetry != nil {
-		o.telemetry.StartRun(fmt.Sprintf("%s/%v", o.kernel.Name(), o.arch))
+		o.telemetry.StartRun(label)
+	}
+	if o.log != nil {
+		o.log.Debug("run start", "run", label, "cores", o.cores, "arch", o.arch.String())
 	}
 	s := ssd.New(ssd.Options{
 		Arch:           o.arch,
@@ -139,6 +166,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 		Exec:           o.exec,
 		CoreQuantum:    o.coreQuantum,
 		Telemetry:      o.telemetry,
+		Log:            o.log,
 	})
 	var lpaLists [][]int
 	var lengths []int64
@@ -163,6 +191,26 @@ func runStandalone(o runOpts) (*runResult, error) {
 		return nil, err
 	}
 	s.PublishStats()
+	if o.log != nil {
+		o.log.Info("run finished", "run", label,
+			"duration_ps", int64(res.Duration), "throughput_bps", res.Throughput())
+	}
+	if o.onRunDone != nil {
+		rec := RunRecord{
+			Label:      label,
+			Kernel:     o.kernel.Name(),
+			Arch:       o.arch,
+			Cores:      o.cores,
+			Duration:   res.Duration,
+			InputBytes: res.InputBytes,
+			CoreStats:  res.CoreStats,
+		}
+		if o.telemetry != nil {
+			snap := o.telemetry.Metrics()
+			rec.Metrics = &snap
+		}
+		o.onRunDone(rec)
+	}
 	return &runResult{res: res, instance: s}, nil
 }
 

@@ -85,7 +85,7 @@ func standaloneSweep(cfg Config, adjusted bool) ([]Fig13Row, error) {
 	// One job per (kernel, configuration); each run builds its own SSD.
 	tputs, err := runpool.Map(cfg.workers(), len(specs)*len(archs), func(j int) (float64, error) {
 		spec, arch := specs[j/len(archs)], archs[j%len(archs)]
-		o := runOpts{
+		o := cfg.instrument(runOpts{
 			arch:       arch,
 			adjusted:   adjusted,
 			cores:      cfg.Cores,
@@ -95,8 +95,7 @@ func standaloneSweep(cfg Config, adjusted bool) ([]Fig13Row, error) {
 			outKind:    spec.outKind,
 			collect:    cfg.Verify && spec.outKind != firmware.OutDiscard,
 			exec:       cfg.Exec,
-			telemetry:  cfg.Telemetry,
-		}
+		})
 		r, err := runStandalone(o)
 		if err != nil {
 			return 0, fmt.Errorf("%s on %v: %w", spec.name, arch, err)
@@ -157,7 +156,7 @@ type Fig5Result struct {
 func Fig5(cfg Config) (*Fig5Result, error) {
 	data := lineitemTuples(int(cfg.KernelMB * (1 << 20)))
 	k := filterKernel()
-	o := runOpts{
+	o := cfg.instrument(runOpts{
 		arch:       ssd.Baseline,
 		cores:      1,
 		kernel:     k,
@@ -166,8 +165,7 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		outKind:    firmware.OutToHost,
 		collect:    cfg.Verify,
 		exec:       cfg.Exec,
-		telemetry:  cfg.Telemetry,
-	}
+	})
 	r, err := runStandalone(o)
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"strings"
 
 	"assasin/internal/cpu"
@@ -32,6 +33,7 @@ type psfDataset struct {
 	// Run options threaded from Config by the experiment entry points.
 	exec cpu.ExecMode
 	tel  *telemetry.Sink
+	log  *slog.Logger
 }
 
 func newPSFDataset(sf float64) *psfDataset {
@@ -54,7 +56,7 @@ func (p *psfDataset) runQueryPSF(q *tpch.QuerySpec, arch ssd.Arch, cores int, ad
 		p.tel.StartRun(fmt.Sprintf("Q%d/%v", q.ID, arch))
 	}
 	s := ssd.New(ssd.Options{Arch: arch, Cores: cores, TimingAdjusted: adjusted,
-		Exec: p.exec, Telemetry: p.tel})
+		Exec: p.exec, Telemetry: p.tel, Log: p.log})
 	lpas, err := s.InstallBytes(csv)
 	if err != nil {
 		return nil, nil, err
@@ -113,7 +115,7 @@ func Fig21PSF(cfg Config) ([]Fig14Row, error) {
 
 func fig14Sweep(cfg Config, adjusted bool, archs []ssd.Arch) ([]Fig14Row, error) {
 	p := newPSFDataset(cfg.TPCHScale)
-	p.exec, p.tel = cfg.Exec, cfg.Telemetry
+	p.exec, p.tel, p.log = cfg.Exec, cfg.Telemetry, cfg.Log
 	queries := tpch.Queries()
 	// Per-query reference outputs are computed up front (host-side, cheap)
 	// so the fan-out jobs only read them.
@@ -216,7 +218,7 @@ type Fig15Row struct {
 // computational SSD, and AssasinSb — the paper's end-to-end Fig. 15.
 func Fig15(cfg Config) ([]Fig15Row, error) {
 	p := newPSFDataset(cfg.TPCHScale)
-	p.exec, p.tel = cfg.Exec, cfg.Telemetry
+	p.exec, p.tel, p.log = cfg.Exec, cfg.Telemetry, cfg.Log
 	hm := host.New(host.DefaultConfig())
 	// The end-to-end comparison always uses the paper's full 8-engine SSDs.
 	cores := cfg.Cores

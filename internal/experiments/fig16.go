@@ -50,7 +50,7 @@ func Fig16(cfg Config) ([]Fig16Point, error) {
 			sizeMB = min
 		}
 		data := randData(int(sizeMB*(1<<20)), 77)
-		r, err := runStandalone(runOpts{
+		r, err := runStandalone(cfg.instrument(runOpts{
 			arch:       ssd.AssasinSb,
 			cores:      cores,
 			kernel:     scan,
@@ -61,8 +61,7 @@ func Fig16(cfg Config) ([]Fig16Point, error) {
 			// firmware allocates slot capacity to active streams).
 			windowPages: 16,
 			exec:        cfg.Exec,
-			telemetry:   cfg.Telemetry,
-		})
+		}))
 		if err != nil {
 			return Fig16Point{}, fmt.Errorf("scan at %d cores: %w", cores, err)
 		}
@@ -197,6 +196,7 @@ func Fig19(cfg Config) ([]Fig19Point, error) {
 				Layout:       ftl.SkewedPolicy{Skew: skew},
 				Exec:         cfg.Exec,
 				Telemetry:    cfg.Telemetry,
+				Log:          cfg.Log,
 			})
 			lpas, err := s.InstallBytes(data)
 			if err != nil {

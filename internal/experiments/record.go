@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"assasin/internal/cpu"
+	"assasin/internal/sim"
+	"assasin/internal/ssd"
+	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
+)
+
+// RunRecord is the observable summary of one completed standalone run,
+// delivered to Config.OnRunDone. It carries everything the attribution
+// engine needs: the per-core cycle decomposition plus (when the run was
+// instrumented) the telemetry snapshot taken right after PublishStats.
+type RunRecord struct {
+	// Label is "<kernel>/<arch>", the same label the trace run uses.
+	Label      string
+	Kernel     string
+	Arch       ssd.Arch
+	Cores      int
+	Duration   sim.Time
+	InputBytes int64
+	CoreStats  []cpu.Stats
+	// Metrics is the post-run telemetry snapshot, nil when the run was not
+	// instrumented.
+	Metrics *telemetry.MetricsSnapshot
+}
+
+// AttributionRun converts the record into the analyze package's input,
+// mapping the simulator's stall taxonomy onto attribution classes:
+// StallMem → cache-dram-wait, StallStreamWait → stream-refill-wait,
+// StallOutFull → out-full-wait, StallExec → exec-stall.
+func (r RunRecord) AttributionRun() analyze.Run {
+	run := analyze.Run{
+		Label:      r.Label,
+		Kernel:     r.Kernel,
+		Arch:       r.Arch.String(),
+		Cores:      r.Cores,
+		DurationPs: int64(r.Duration),
+		InputBytes: r.InputBytes,
+		Metrics:    r.Metrics,
+	}
+	for _, st := range r.CoreStats {
+		run.BusyPs += int64(st.BusyTime)
+		run.CacheDRAMWaitPs += int64(st.StallTime[cpu.StallMem])
+		run.StreamRefillWaitPs += int64(st.StallTime[cpu.StallStreamWait])
+		run.OutFullWaitPs += int64(st.StallTime[cpu.StallOutFull])
+		run.ExecStallPs += int64(st.StallTime[cpu.StallExec])
+	}
+	return run
+}

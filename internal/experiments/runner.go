@@ -1,0 +1,142 @@
+package experiments
+
+import "fmt"
+
+// Runner executes experiments by id and caches cross-experiment results
+// (fig16 feeds fig17/fig18; fig21 feeds fig22). It is the shared dispatch
+// used by cmd/assasin-bench and cmd/assasin-serve; it is not goroutine-safe
+// — drive it from one goroutine.
+type Runner struct {
+	fig16Cache []Fig16Point
+	fig21Cache []Fig13Row
+}
+
+func (rn *Runner) fig16Points(cfg Config) ([]Fig16Point, error) {
+	if rn.fig16Cache != nil {
+		return rn.fig16Cache, nil
+	}
+	p, err := Fig16(cfg)
+	if err == nil {
+		rn.fig16Cache = p
+	}
+	return p, err
+}
+
+func (rn *Runner) fig21Rows(cfg Config) ([]Fig13Row, error) {
+	if rn.fig21Cache != nil {
+		return rn.fig21Cache, nil
+	}
+	r, err := Fig21(cfg)
+	if err == nil {
+		rn.fig21Cache = r
+	}
+	return r, err
+}
+
+// Run executes one experiment and returns its structured rows (for JSON
+// output) and rendered text.
+func (rn *Runner) Run(name string, cfg Config) (any, string, error) {
+	switch name {
+	case "table2":
+		rows, err := Table2(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, FormatTable2(rows), nil
+	case "ablation":
+		wrows, err := AblationWindow(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		drows, err := AblationDRAM(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		m, err := MixedIO(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		rows := struct {
+			Window []AblationWindowRow `json:"window"`
+			DRAM   []AblationDRAMRow   `json:"dram"`
+			Mixed  *MixedIOResult      `json:"mixed_io"`
+		}{wrows, drows, m}
+		text := FormatAblationWindow(wrows) +
+			FormatAblationDRAM(drows) +
+			FormatMixedIO(m)
+		return rows, text, nil
+	case "table4":
+		t := Table4(cfg)
+		return t, t, nil
+	case "fig5":
+		r, err := Fig5(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, FormatFig5(r), nil
+	case "fig13":
+		rows, err := Fig13(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, FormatFig13("Fig 13", rows), nil
+	case "fig14":
+		rows, err := Fig14(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, FormatFig14("Fig 14", rows), nil
+	case "fig15":
+		rows, err := Fig15(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, FormatFig15(rows), nil
+	case "fig16":
+		p, err := rn.fig16Points(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, FormatFig16(p), nil
+	case "fig17":
+		p, err := rn.fig16Points(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, FormatFig17(p), nil
+	case "fig18":
+		p, err := rn.fig16Points(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, FormatFig18(p), nil
+	case "fig19":
+		p, err := Fig19(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return p, FormatFig19(p), nil
+	case "fig20":
+		r := Fig20()
+		return r, FormatFig20(r), nil
+	case "fig21":
+		rows, err := rn.fig21Rows(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		return rows, FormatFig13("Fig 21 (timing-adjusted)", rows), nil
+	case "table5":
+		t := FormatTable5(cfg.Cores)
+		return t, t, nil
+	case "fig22":
+		rows, err := rn.fig21Rows(cfg)
+		if err != nil {
+			return nil, "", err
+		}
+		speedups := SpeedupSummary(rows)
+		r := Fig22(speedups, cfg.Cores)
+		return r, FormatFig22(r), nil
+	default:
+		return nil, "", fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -74,7 +74,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			rec = len(e.inputs[0]) // unsplittable stream: one core
 			cores = 1
 		}
-		o := runOpts{
+		o := cfg.instrument(runOpts{
 			arch:       arch,
 			cores:      cores,
 			kernel:     e.kernel,
@@ -83,8 +83,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 			outKind:    e.out,
 			collect:    cfg.Verify && e.out != firmware.OutDiscard,
 			exec:       cfg.Exec,
-			telemetry:  cfg.Telemetry,
-		}
+		})
 		r, err := runStandalone(o)
 		if err != nil {
 			return 0, fmt.Errorf("%s on %v: %w", e.name, arch, err)

@@ -1,0 +1,152 @@
+// Package obs makes a running simulation observable from outside its
+// goroutine: a goroutine-safe Collector accumulates per-run attribution
+// reports and metrics snapshots published at run boundaries, and an HTTP
+// handler serves them live — Prometheus text-format /metrics, pprof,
+// health/readiness probes, and the attribution reports — while an
+// experiment fan-out is still executing.
+//
+// The telemetry.Sink itself stays single-goroutine (the simulator's
+// zero-cost contract); the bridge to concurrent scrapers is publication:
+// the simulation goroutine hands the Collector immutable snapshots at run
+// boundaries, and scrapers only ever read the latest published snapshot.
+// Scraping therefore cannot perturb simulation results, and nothing is
+// rendered (no Prometheus text, no JSON) unless an endpoint is actually
+// hit.
+package obs
+
+import (
+	"sync"
+
+	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
+)
+
+// Collector accumulates completed-run reports and the latest metrics
+// snapshot. All methods are goroutine-safe, and a nil *Collector is a
+// valid disabled collector: every method is a cheap no-op, so call sites
+// can wire it unconditionally.
+type Collector struct {
+	mu      sync.Mutex
+	ready   bool
+	snap    telemetry.MetricsSnapshot
+	reports []*analyze.RunReport
+	byID    map[string]*analyze.RunReport
+}
+
+// NewCollector returns an empty enabled collector.
+func NewCollector() *Collector {
+	return &Collector{byID: make(map[string]*analyze.RunReport)}
+}
+
+// ObserveRun attributes one completed run and stores the report under a
+// sequential id ("run-0001", ...). When the run carries a metrics
+// snapshot, counter deltas are computed against the previously published
+// snapshot and the new snapshot becomes the latest for /metrics. Returns
+// the stored report (nil on a nil collector).
+func (c *Collector) ObserveRun(run analyze.Run) *analyze.RunReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if run.Metrics != nil && run.Prev == nil {
+		prev := c.snap
+		run.Prev = &prev
+	}
+	rep := analyze.Attribute(run)
+	rep.ID = runID(len(c.reports) + 1)
+	c.reports = append(c.reports, rep)
+	c.byID[rep.ID] = rep
+	if run.Metrics != nil {
+		c.snap = *run.Metrics
+	}
+	return rep
+}
+
+// runID formats the sequential run id.
+func runID(n int) string {
+	const digits = "0123456789"
+	buf := []byte("run-0000")
+	for i := len(buf) - 1; n > 0 && i >= len("run-"); i-- {
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf)
+}
+
+// PublishMetrics replaces the latest metrics snapshot. The snapshot's maps
+// must not be mutated after publishing (telemetry.Sink.Metrics builds
+// fresh maps per call, satisfying this by construction).
+func (c *Collector) PublishMetrics(snap telemetry.MetricsSnapshot) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.snap = snap
+	c.mu.Unlock()
+}
+
+// Snapshot returns the latest published metrics snapshot. The returned
+// maps are shared with the publisher but immutable once published.
+func (c *Collector) Snapshot() telemetry.MetricsSnapshot {
+	if c == nil {
+		return telemetry.MetricsSnapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snap
+}
+
+// Reports returns the completed-run reports in completion order. The slice
+// is a copy; the reports themselves are immutable once stored.
+func (c *Collector) Reports() []*analyze.RunReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*analyze.RunReport, len(c.reports))
+	copy(out, c.reports)
+	return out
+}
+
+// Report returns the report stored under id, or nil.
+func (c *Collector) Report(id string) *analyze.RunReport {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byID[id]
+}
+
+// RunsCompleted returns how many runs have been observed.
+func (c *Collector) RunsCompleted() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.reports)
+}
+
+// MarkReady flips the /readyz probe to ready (call once the experiment
+// loop is about to start).
+func (c *Collector) MarkReady() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ready = true
+	c.mu.Unlock()
+}
+
+// Ready reports whether MarkReady was called.
+func (c *Collector) Ready() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ready
+}

@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds a text slog.Logger writing to w at the named level:
+// "debug", "info", "warn"/"warning", or "error". The cmds share it to
+// implement -log-level uniformly.
+func NewLogger(w io.Writer, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl})), nil
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"assasin/internal/telemetry"
+)
+
+// Prometheus text-format exposition of a telemetry snapshot. Metric names
+// are "assasin_<component>_<name>" with non-alphanumeric bytes mapped to
+// '_': counters gain the conventional "_total" suffix, gauges export their
+// value, histograms export summary quantiles (the bucket-interpolated
+// P50/P95/P99 estimates) plus _sum and _count. Output is deterministically
+// ordered (sorted keys) so the exposition can be golden-tested; rendering
+// happens only when a scrape actually asks for it.
+
+// promName mangles a "component/name" metric key into a valid Prometheus
+// metric name.
+func promName(key string) string {
+	out := []byte("assasin_")
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promFloat formats a sample value the way Prometheus expects.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition
+// format.
+func WritePrometheus(w io.Writer, snap telemetry.MetricsSnapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, key := range sortedKeys(snap.Counters) {
+		name := promName(key) + "_total"
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[key])
+	}
+	for _, key := range sortedKeys(snap.Gauges) {
+		name := promName(key)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", name, name, snap.Gauges[key].Value)
+	}
+	for _, key := range sortedKeys(snap.Histograms) {
+		name := promName(key)
+		h := snap.Histograms[key]
+		fmt.Fprintf(bw, "# TYPE %s summary\n", name)
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50))
+		fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", name, promFloat(h.P95))
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99))
+		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	fmt.Fprintf(bw, "# TYPE assasin_trace_events gauge\nassasin_trace_events %d\n", snap.TraceEvents)
+	fmt.Fprintf(bw, "# TYPE assasin_trace_dropped_total counter\nassasin_trace_dropped_total %d\n", snap.TraceDropped)
+	return bw.Flush()
+}
+
+// WritePrometheus writes the collector's latest published snapshot plus
+// the collector's own serving metrics. Safe on a nil collector (serving
+// metrics only, all zero).
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	if err := WritePrometheus(w, c.Snapshot()); err != nil {
+		return err
+	}
+	ready := 0
+	if c.Ready() {
+		ready = 1
+	}
+	_, err := fmt.Fprintf(w,
+		"# TYPE assasin_runs_completed_total counter\nassasin_runs_completed_total %d\n"+
+			"# TYPE assasin_serve_ready gauge\nassasin_serve_ready %d\n",
+		c.RunsCompleted(), ready)
+	return err
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// runSummary is one row of the /runs listing.
+type runSummary struct {
+	ID            string  `json:"id"`
+	Label         string  `json:"label"`
+	Kernel        string  `json:"kernel"`
+	Arch          string  `json:"arch"`
+	DurationPs    int64   `json:"duration_ps"`
+	ThroughputBps float64 `json:"throughput_bps"`
+	LargestClass  string  `json:"largest_class"`
+	LargestStall  string  `json:"largest_stall"`
+}
+
+// NewHandler builds the observability endpoint set over a collector:
+//
+//	/healthz            liveness (always 200 once serving)
+//	/readyz             readiness (503 until MarkReady)
+//	/metrics            Prometheus text format, latest published snapshot
+//	/runs               JSON list of completed runs
+//	/runs/{id}/report   one run's full attribution report
+//	/debug/pprof/*      the standard Go profiling endpoints
+//
+// Every endpoint reads only published, immutable data, so scraping while a
+// simulation runs on another goroutine cannot perturb its results.
+func NewHandler(c *Collector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !c.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		reports := c.Reports()
+		out := make([]runSummary, 0, len(reports))
+		for _, rep := range reports {
+			out = append(out, runSummary{
+				ID: rep.ID, Label: rep.Label, Kernel: rep.Kernel, Arch: rep.Arch,
+				DurationPs: rep.DurationPs, ThroughputBps: rep.ThroughputBps,
+				LargestClass: rep.LargestClass, LargestStall: rep.LargestStall,
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /runs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		rep := c.Report(r.PathValue("id"))
+		if rep == nil {
+			http.Error(w, "unknown run", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, rep)
+	})
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "assasin-serve endpoints:\n"+
+			"  /healthz\n  /readyz\n  /metrics\n  /runs\n  /runs/{id}/report\n  /debug/pprof/\n")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeJSON writes v as indented JSON.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

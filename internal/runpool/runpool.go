@@ -15,10 +15,21 @@
 package runpool
 
 import (
+	"fmt"
+	"log/slog"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
+
+// logger, when set, receives worker-claim events at Debug level. It is an
+// atomic pointer so parallel workers can read it without a lock.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs a logger for pool diagnostics (nil disables). Handlers
+// must be goroutine-safe; slog's built-in handlers are.
+func SetLogger(l *slog.Logger) { logger.Store(l) }
 
 // DefaultWorkers returns the default pool width: one worker per schedulable
 // CPU, the widest fan-out that does not oversubscribe the host.
@@ -69,6 +80,9 @@ func Run(workers, n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
+				if l := logger.Load(); l != nil {
+					l.Debug("runpool: job claimed", "worker", w, "job", i, "jobs", n)
+				}
 				if err := fn(i); err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -102,6 +116,19 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// SequentialOverride resolves the effective pool width when one or more
+// enabled features require sequential simulation (the telemetry sink is
+// single-goroutine). It returns the width to use and, when the request had
+// to be overridden, a warning naming both the forcing flags and the flag
+// being overridden. requested <= 1 needs no override and yields no warning.
+func SequentialOverride(requested int, forcedBy ...string) (workers int, warning string) {
+	if len(forcedBy) == 0 || requested <= 1 {
+		return requested, ""
+	}
+	return 1, fmt.Sprintf("%s forces sequential simulation: overriding -parallel %d to -parallel 1",
+		strings.Join(forcedBy, ", "), requested)
 }
 
 // Seed derives a per-run RNG seed from a base seed and a job index

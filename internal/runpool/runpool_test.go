@@ -1,9 +1,13 @@
 package runpool
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -130,4 +134,61 @@ func TestPoolSoak(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestSequentialOverride(t *testing.T) {
+	cases := []struct {
+		requested   int
+		forcedBy    []string
+		wantWorkers int
+		wantWarn    bool
+	}{
+		{8, []string{"-trace"}, 1, true},
+		{8, []string{"-trace", "-metrics"}, 1, true},
+		{1, []string{"-trace"}, 1, false},
+		{8, nil, 8, false},
+	}
+	for _, c := range cases {
+		got, warn := SequentialOverride(c.requested, c.forcedBy...)
+		if got != c.wantWorkers || (warn != "") != c.wantWarn {
+			t.Errorf("SequentialOverride(%d, %v) = (%d, %q)", c.requested, c.forcedBy, got, warn)
+		}
+		for _, f := range c.forcedBy {
+			if c.wantWarn && !strings.Contains(warn, f) {
+				t.Errorf("warning %q does not name forcing flag %s", warn, f)
+			}
+		}
+		if c.wantWarn && !strings.Contains(warn, "-parallel 8") {
+			t.Errorf("warning %q does not name the overridden -parallel value", warn)
+		}
+	}
+}
+
+// TestSetLoggerRace drives a parallel pool with a live debug logger under
+// -race: worker-claim logging must be safe from every goroutine.
+func TestSetLoggerRace(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	h := slog.NewTextHandler(lockedWriter{&mu, &buf}, &slog.HandlerOptions{Level: slog.LevelDebug})
+	SetLogger(slog.New(h))
+	defer SetLogger(nil)
+	if err := Run(4, 64, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(buf.String(), "runpool: job claimed") {
+		t.Error("no claim events logged")
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

@@ -7,6 +7,7 @@ package ssd
 
 import (
 	"fmt"
+	"log/slog"
 
 	"assasin/internal/asm"
 	"assasin/internal/core"
@@ -132,6 +133,10 @@ type Options struct {
 	// The sink is not goroutine-safe: do not share one sink between SSDs
 	// simulated concurrently.
 	Telemetry *telemetry.Sink
+	// Log, when non-nil, receives offload lifecycle events: request
+	// submission and completion at Debug level. Handlers must be
+	// goroutine-safe when SSDs run concurrently.
+	Log *slog.Logger
 }
 
 // DefaultFlashConfig is the evaluation geometry: 8 channels × 1 GB/s,
@@ -513,6 +518,10 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 	if err := engine.Submit(fwTasks); err != nil {
 		return nil, err
 	}
+	if s.Opt.Log != nil {
+		s.Opt.Log.Debug("offload submitted",
+			"arch", s.Opt.Arch.String(), "tasks", len(tasks), "input_bytes", totalIn)
+	}
 	if _, err := s.Sched.Run(deadline); err != nil {
 		// A data-plane failure leaves cores waiting forever; surface the
 		// root cause rather than the resulting scheduler deadlock.
@@ -536,6 +545,10 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 	dur := engine.CompletionTime() - start
 	if dur < 0 {
 		dur = 0
+	}
+	if s.Opt.Log != nil {
+		s.Opt.Log.Debug("offload complete",
+			"arch", s.Opt.Arch.String(), "duration_ps", int64(dur), "input_bytes", totalIn)
 	}
 	res := &Result{Duration: dur, InputBytes: totalIn}
 	for i, t := range tasks {

@@ -123,12 +123,16 @@ type GaugeSnapshot struct {
 	Max   int64 `json:"max"`
 }
 
-// HistogramSnapshot is the exported view of a histogram.
+// HistogramSnapshot is the exported view of a histogram. The percentiles
+// are bucket-interpolated estimates (see Histogram.Percentile).
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   int64   `json:"sum"`
 	Max   int64   `json:"max"`
 	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
 }
 
 // MetricsSnapshot is the flat metrics export, keyed "component/name".
@@ -165,6 +169,9 @@ func (s *Sink) Metrics() MetricsSnapshot {
 			snap := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Max: h.MaxValue()}
 			if snap.Count > 0 {
 				snap.Mean = float64(snap.Sum) / float64(snap.Count)
+				snap.P50 = h.Percentile(0.50)
+				snap.P95 = h.Percentile(0.95)
+				snap.P99 = h.Percentile(0.99)
 			}
 			m.Histograms[k.component+"/"+k.name] = snap
 		}

@@ -20,7 +20,11 @@
 // (cmd wiring forces sequential runs when telemetry is enabled).
 package telemetry
 
-import "fmt"
+import (
+	"fmt"
+	"log/slog"
+	"math"
+)
 
 // Kind discriminates the metric types a (component, name) pair can hold.
 type Kind int
@@ -146,6 +150,55 @@ func bucketOf(v int64) int {
 	return b
 }
 
+// bucketBounds returns bucket i's half-open value range [lo, hi) as floats
+// (float math sidesteps the 1<<64 overflow of the topmost bucket). Bucket 0
+// collapses to the single value 0, matching bucketOf's v <= 0 rule.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return math.Ldexp(1, i-1), math.Ldexp(1, i)
+}
+
+// Percentile estimates the q-quantile (q in [0, 1]) of the recorded
+// distribution: it walks the cumulative bucket counts to the bucket holding
+// rank q*count and linearly interpolates inside that bucket's power-of-two
+// value range. The estimate is clamped to the observed maximum, so a
+// single-valued distribution reports that exact value at every quantile.
+// Returns 0 for a nil or empty histogram.
+func (h *Histogram) Percentile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= target {
+			lo, hi := bucketBounds(i)
+			frac := (target - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			v := lo + frac*(hi-lo)
+			if max := float64(h.max); v > max {
+				v = max
+			}
+			return v
+		}
+		cum += n
+	}
+	return float64(h.max)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -187,6 +240,10 @@ type Sink struct {
 	// dropped (surfaced in the metrics export) rather than silently lost.
 	MaxEvents int
 	dropped   int64
+
+	// Log, when non-nil, receives one structured warning the first time the
+	// trace buffer overflows MaxEvents (further drops are only counted).
+	Log *slog.Logger
 }
 
 // NewSink returns an empty enabled sink.

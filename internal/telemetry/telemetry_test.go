@@ -61,6 +61,9 @@ func TestNilSinkNoOp(t *testing.T) {
 	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 || h.Sum() != 0 || h.MaxValue() != 0 {
 		t.Fatalf("nil metrics reported nonzero values")
 	}
+	if h.Percentile(0.99) != 0 {
+		t.Fatalf("nil histogram percentile not 0")
+	}
 	s.StartRun("r")
 	tr := s.Track("lane")
 	if tr != nil {
@@ -91,10 +94,13 @@ func TestNilSinkNoOp(t *testing.T) {
 func TestNilSinkZeroAllocs(t *testing.T) {
 	var s *Sink
 	c := s.Counter("x", "c")
+	h := s.Histogram("x", "h")
 	tr := s.Track("lane")
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(2)
+		h.Observe(3)
+		_ = h.Percentile(0.5)
 		tr.Instant("i", 1)
 	})
 	if allocs != 0 {

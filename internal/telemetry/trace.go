@@ -87,6 +87,10 @@ func (s *Sink) Track(name string) *Track {
 
 func (s *Sink) record(e event) {
 	if s.MaxEvents > 0 && len(s.events) >= s.MaxEvents {
+		if s.dropped == 0 && s.Log != nil {
+			s.Log.Warn("telemetry: trace event cap reached, dropping further events",
+				"cap", s.MaxEvents)
+		}
 		s.dropped++
 		return
 	}

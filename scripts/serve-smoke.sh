@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Smoke-test the live observability server: boot assasin-serve on an
+# OS-chosen port, wait for the listen line, probe the health and metrics
+# endpoints while the experiments run, and check that a known counter is
+# exposed in Prometheus text format.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(mktemp)
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$out" assasin-serve-smoke' EXIT
+
+go build -o assasin-serve-smoke ./cmd/assasin-serve
+./assasin-serve-smoke -exp table2 -quick -once -log-level warn >"$out" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -o 'http://[0-9.:]*' "$out" | head -1 || true)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: server exited early"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: no listen line"; cat "$out"; exit 1; }
+echo "serve-smoke: probing $addr"
+
+[ "$(curl -fsS "$addr/healthz")" = "ok" ] || { echo "serve-smoke: bad /healthz"; exit 1; }
+curl -fsS "$addr/readyz" >/dev/null || { echo "serve-smoke: bad /readyz"; exit 1; }
+
+# The fed-pages counter appears once the first run's snapshot is published;
+# poll until then (the server stays up for the whole -once experiment pass).
+ok=""
+for _ in $(seq 1 100); do
+    metrics=$(curl -fsS "$addr/metrics" 2>/dev/null || true)
+    if echo "$metrics" | grep -q '^assasin_fw_pages_fed_total [1-9]'; then
+        ok=1
+        break
+    fi
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+[ -n "$ok" ] || {
+    echo "serve-smoke: /metrics never exposed assasin_fw_pages_fed_total"
+    echo "$metrics" | head -20
+    exit 1
+}
+echo "$metrics" | grep -q '^assasin_serve_ready 1$' || { echo "serve-smoke: not ready"; exit 1; }
+
+wait "$pid" || { echo "serve-smoke: server failed"; cat "$out"; exit 1; }
+echo "serve-smoke: OK"
