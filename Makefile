@@ -1,6 +1,6 @@
 # Convenience entry points; every target is plain go tooling underneath.
 
-.PHONY: all build test race bench bench-baseline bench-compare ci
+.PHONY: all build test race bench bench-baseline bench-compare diff-smoke ci
 
 all: test
 
@@ -17,6 +17,11 @@ test: build
 race:
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
 
+# Run the differential engine against the archived Stat metrics snapshots
+# and check the ranked headline.
+diff-smoke:
+	scripts/diff-smoke.sh
+
 # The full continuous-integration gate (mirrored by the GitHub workflow).
 ci:
 	go vet ./...
@@ -24,6 +29,7 @@ ci:
 	go test ./...
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
 	scripts/serve-smoke.sh
+	scripts/diff-smoke.sh
 
 # Quick micro-benchmark pass (3 samples; use bench-baseline for the
 # committed 5-sample baselines).

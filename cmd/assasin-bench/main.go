@@ -12,6 +12,8 @@
 //	assasin-bench -json out/          # also write BENCH_<exp>.json files
 //	assasin-bench -exp table2 -quick -trace t.json -metrics m.json
 //	assasin-bench -exp table2 -quick -report  # per-run stall attribution
+//	assasin-bench -exp table2 -quick -timeline out/  # per-run sampled timelines
+//	assasin-bench -exp table2 -quick -report -diff  # Baseline-vs-AssasinSb deltas
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -30,6 +33,8 @@ import (
 	"assasin/internal/runpool"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/timeline"
 )
 
 // stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
@@ -48,7 +53,10 @@ func main() {
 		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto; forces -parallel 1)")
-		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file (forces -parallel 1)")
+		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file (parallel-safe: per-run sinks merged at run boundaries)")
+		tlDir    = flag.String("timeline", "", "directory to write per-run TIMELINE_<exp>_<run>.json sampled timelines into")
+		tlIvalUs = flag.Float64("timeline-interval-us", 10, "timeline sampling interval in simulated microseconds")
+		diffRuns = flag.Bool("diff", false, "print per-kernel Baseline-vs-AssasinSb differential reports")
 		report   = flag.Bool("report", false, "print a per-run bottleneck-attribution report (forces -parallel 1)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,14 +104,17 @@ func main() {
 	}
 	cfg.Exec = mode
 
-	// The telemetry sink is single-goroutine and -report wants deterministic
-	// run ids, so any of these flags force sequential simulation.
+	if *tlIvalUs <= 0 {
+		fatal(fmt.Errorf("-timeline-interval-us must be > 0, got %g", *tlIvalUs))
+	}
+
+	// Metrics and timelines are parallel-safe (per-run sinks absorbed at run
+	// boundaries), so only trace capture — which needs the shared
+	// single-goroutine sink — and -report — which wants deterministic run
+	// ids — still force sequential simulation.
 	var forcedBy []string
 	if *tracePth != "" {
 		forcedBy = append(forcedBy, "-trace")
-	}
-	if *metrPth != "" {
-		forcedBy = append(forcedBy, "-metrics")
 	}
 	if *report {
 		forcedBy = append(forcedBy, "-report")
@@ -114,16 +125,46 @@ func main() {
 	}
 
 	var tel *telemetry.Sink
-	if *tracePth != "" || *metrPth != "" {
+	if *tracePth != "" || *metrPth != "" || *tlDir != "" {
 		tel = telemetry.NewSink()
 		tel.Log = log
 		cfg.Telemetry = tel
+		cfg.PerRunTelemetry = *tracePth == ""
+	}
+	if *tlDir != "" {
+		if err := os.MkdirAll(*tlDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *tlDir != "" || *diffRuns {
+		cfg.Timeline = &timeline.Config{
+			IntervalPs:   int64(*tlIvalUs * 1e6),
+			TraceClasses: *tracePth != "",
+		}
 	}
 	var coll *obs.Collector
-	if *report {
+	if *report || *diffRuns {
 		coll = obs.NewCollector()
+	}
+	var curExp string
+	if coll != nil || *tlDir != "" {
 		cfg.OnRunDone = func(rec experiments.RunRecord) {
-			coll.ObserveRun(rec.AttributionRun())
+			if coll != nil {
+				run := rec.AttributionRun()
+				if cfg.PerRunTelemetry && run.Metrics != nil {
+					// Per-run snapshots already cover exactly one run, so the
+					// delta baseline is empty — not the previously completed
+					// run's snapshot.
+					run.Prev = &telemetry.MetricsSnapshot{}
+				}
+				coll.ObserveRunTimeline(run, rec.Timeline)
+			}
+			if *tlDir != "" && rec.Timeline != nil {
+				name := "TIMELINE_" + curExp + "_" + strings.ReplaceAll(rec.Label, "/", "_") + ".json"
+				if err := rec.Timeline.WriteFile(filepath.Join(*tlDir, name)); err != nil {
+					fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
+				}
+			}
 		}
 	}
 
@@ -144,6 +185,7 @@ func main() {
 
 	var runner experiments.Runner
 	for _, name := range names {
+		curExp = name
 		start := time.Now()
 		rows, text, err := runner.Run(name, cfg)
 		if err != nil {
@@ -168,7 +210,7 @@ func main() {
 		fmt.Printf("[%s completed in %.1fs]\n\n", name, wall)
 	}
 
-	if coll != nil {
+	if coll != nil && *report {
 		reports := coll.Reports()
 		analyze.SortReports(reports)
 		fmt.Print(analyze.FormatReports(reports))
@@ -185,6 +227,9 @@ func main() {
 			}
 			fmt.Printf("[attribution: %s, %d runs]\n", filepath.Join(*jsonDir, "BENCH_report.json"), len(reports))
 		}
+	}
+	if *diffRuns {
+		printArchDiffs(coll)
 	}
 
 	if tel != nil {
@@ -209,6 +254,43 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// printArchDiffs emits one differential report per kernel that ran on both
+// the Baseline and AssasinSb architectures, in sorted kernel order.
+func printArchDiffs(coll *obs.Collector) {
+	reports := coll.Reports()
+	analyze.SortReports(reports)
+	byKernel := make(map[string]map[string]*analyze.RunReport)
+	var names []string
+	for _, rep := range reports {
+		m := byKernel[rep.Kernel]
+		if m == nil {
+			m = make(map[string]*analyze.RunReport)
+			byKernel[rep.Kernel] = m
+			names = append(names, rep.Kernel)
+		}
+		if _, ok := m[rep.Arch]; !ok {
+			m[rep.Arch] = rep
+		}
+	}
+	sort.Strings(names)
+	printed := 0
+	for _, k := range names {
+		a, b := byKernel[k]["Baseline"], byKernel[k]["AssasinSb"]
+		if a == nil || b == nil {
+			continue
+		}
+		side := func(rep *analyze.RunReport) diff.RunData {
+			return diff.RunData{Label: rep.Label, Report: rep, Timeline: coll.Timeline(rep.ID)}
+		}
+		fmt.Print(diff.Compare(side(a), side(b)).Format())
+		fmt.Println()
+		printed++
+	}
+	if printed == 0 {
+		fmt.Println("[diff: no kernel ran on both Baseline and AssasinSb]")
+	}
+}
+
 // benchEnvelope is the schema of a BENCH_<exp>.json file. Telemetry holds
 // the sink's cumulative metrics snapshot taken after this experiment
 // completed; it is present only when -trace/-metrics is enabled.
@@ -231,5 +313,27 @@ func writeJSON(dir, name string, cfg experiments.Config, rows any, wall float64,
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), append(b, '\n'), 0o644)
+	b = append(b, '\n')
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), b, 0o644); err != nil {
+		return err
+	}
+	// When run from the repo root with a different -json directory, refresh
+	// the checked-in bench/BENCH_<exp>.json trajectory file too — but only
+	// if it already exists, so tests and scratch runs never create it.
+	traj := filepath.Join("bench", "BENCH_"+name+".json")
+	if sameDir(dir, "bench") {
+		return nil
+	}
+	if _, err := os.Stat(traj); err != nil {
+		return nil
+	}
+	return os.WriteFile(traj, b, 0o644)
+}
+
+// sameDir reports whether two directory paths resolve to the same absolute
+// location (best-effort; errors mean "different").
+func sameDir(a, b string) bool {
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	return errA == nil && errB == nil && aa == bb
 }

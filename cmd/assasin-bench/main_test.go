@@ -58,6 +58,122 @@ func TestCLISequentialOverrideWarning(t *testing.T) {
 	}
 }
 
+// TestCLIMetricsIsParallelSafe checks the per-run-sink path: -metrics no
+// longer forces sequential simulation and still writes the snapshot.
+func TestCLIMetricsIsParallelSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run skipped in -short")
+	}
+	bin := buildBench(t)
+	metrics := filepath.Join(t.TempDir(), "m.json")
+
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "-exp", "fig5", "-quick", "-mb", "0.125", "-parallel", "4", "-metrics", metrics)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	if s := stderr.String(); strings.Contains(s, "forces sequential") {
+		t.Errorf("-metrics should not force sequential anymore: %q", s)
+	}
+	if _, err := os.Stat(metrics); err != nil {
+		t.Errorf("metrics file not written: %v", err)
+	}
+}
+
+// TestCLITimelineAndDiff checks -timeline writes per-run TIMELINE files
+// under 4-way parallelism and -diff prints the per-kernel differential.
+func TestCLITimelineAndDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run skipped in -short")
+	}
+	bin := buildBench(t)
+	dir := t.TempDir()
+
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "-exp", "table2", "-quick", "-mb", "0.125", "-parallel", "4",
+		"-timeline", dir, "-diff")
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	if s := stderr.String(); strings.Contains(s, "forces sequential") {
+		t.Errorf("-timeline/-diff should not force sequential: %q", s)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "TIMELINE_table2_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no TIMELINE files written (err %v)", err)
+	}
+	b, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"times_ps"`) {
+		t.Errorf("%s is not a timeline:\n%s", matches[0], b)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Differential —", "what changed:", "core time by class"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-diff output missing %q", want)
+		}
+	}
+}
+
+// TestCLIJSONRefreshesTrajectory checks the bench/BENCH_<exp>.json refresh:
+// when the file exists relative to the working directory and -json points
+// elsewhere, both copies are written with identical bytes.
+func TestCLIJSONRefreshesTrajectory(t *testing.T) {
+	bin := buildBench(t)
+	work := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(work, "bench"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	traj := filepath.Join(work, "bench", "BENCH_table5.json")
+	if err := os.WriteFile(traj, []byte("stale\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-exp", "table5", "-quick", "-json", "out")
+	cmd.Dir = work
+	cmd.Stdout = new(bytes.Buffer)
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	got, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(got), "stale") {
+		t.Error("trajectory file not refreshed")
+	}
+	want, err := os.ReadFile(filepath.Join(work, "out", "BENCH_table5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("trajectory copy differs from -json output")
+	}
+
+	// Without an existing trajectory file nothing is created.
+	if err := os.Remove(traj); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(bin, "-exp", "table5", "-quick", "-json", "out")
+	cmd.Dir = work
+	cmd.Stdout = new(bytes.Buffer)
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	if _, err := os.Stat(traj); !os.IsNotExist(err) {
+		t.Errorf("trajectory file created from nothing (stat err %v)", err)
+	}
+}
+
 // TestCLIReportFlag checks that -report prints the cross-run attribution
 // table after a real (tiny) experiment.
 func TestCLIReportFlag(t *testing.T) {

@@ -1,0 +1,57 @@
+// Command assasin-diff compares two archived runs and prints a ranked
+// "what changed" differential report: duration and throughput ratios,
+// per-class core-time deltas, the largest counter movements, and — when
+// both sides carry timelines — phase-by-phase comparison.
+//
+// Each side is a JSON file written by assasin-sim or assasin-bench: a flat
+// metrics snapshot (-metrics), a sampled timeline (-timeline), a single-run
+// attribution report, or a BENCH_<exp>.json envelope.
+//
+// Usage:
+//
+//	assasin-diff baseline.json assasin-sb.json
+//	assasin-diff -json a.json b.json   # machine-readable report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"assasin/internal/telemetry/diff"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the differential report as JSON instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: assasin-diff [-json] <a.json> <b.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	a, err := diff.LoadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	b, err := diff.LoadFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	rep := diff.Compare(a, b)
+	if *jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Print(rep.Format())
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "assasin-diff: %v\n", err)
+	os.Exit(1)
+}

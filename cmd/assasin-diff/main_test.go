@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"assasin/internal/telemetry"
+)
+
+func buildDiff(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "assasin-diff")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeSnapshot serializes a metrics snapshot the way -metrics does.
+func writeSnapshot(t *testing.T, path string, snap telemetry.MetricsSnapshot) {
+	t.Helper()
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIDiff(t *testing.T) {
+	bin := buildDiff(t)
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "baseline.json"), filepath.Join(dir, "assasin-sb.json")
+	writeSnapshot(t, a, telemetry.MetricsSnapshot{
+		Counters: map[string]int64{"dram/reads": 900, "fw/pages_fed": 32},
+		Gauges: map[string]telemetry.GaugeSnapshot{
+			"class/cache-dram-wait_ps": {Value: 500},
+			"class/core-busy_ps":       {Value: 400},
+		},
+	})
+	writeSnapshot(t, b, telemetry.MetricsSnapshot{
+		Counters: map[string]int64{"dram/reads": 0, "fw/pages_fed": 32},
+		Gauges: map[string]telemetry.GaugeSnapshot{
+			"class/cache-dram-wait_ps": {Value: 0},
+			"class/core-busy_ps":       {Value: 380},
+		},
+	})
+
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, a, b)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Differential — baseline vs assasin-sb", "cache-dram-wait", "dram/reads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// -json emits the machine-readable report with the pinned top class.
+	stdout.Reset()
+	cmd = exec.Command(bin, "-json", a, b)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+	var rep struct {
+		TopClass string `json:"top_class"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output is not JSON: %v", err)
+	}
+	if rep.TopClass != "cache-dram-wait" {
+		t.Errorf("top_class = %q, want cache-dram-wait", rep.TopClass)
+	}
+}
+
+func TestCLIDiffErrors(t *testing.T) {
+	bin := buildDiff(t)
+
+	// Wrong arity: usage error, exit 2.
+	cmd := exec.Command(bin, "only-one.json")
+	cmd.Stdout = new(bytes.Buffer)
+	cmd.Stderr = new(bytes.Buffer)
+	if err, ok := cmd.Run().(*exec.ExitError); !ok || err.ExitCode() != 2 {
+		t.Errorf("one arg: got %v, want exit 2", err)
+	}
+
+	// Unreadable file: exit 1 with the path in the message.
+	missing := filepath.Join(t.TempDir(), "missing.json")
+	var stderr bytes.Buffer
+	cmd = exec.Command(bin, missing, missing)
+	cmd.Stdout = new(bytes.Buffer)
+	cmd.Stderr = &stderr
+	if err, ok := cmd.Run().(*exec.ExitError); !ok || err.ExitCode() != 1 {
+		t.Errorf("missing file: got %v, want exit 1", err)
+	}
+	if !strings.Contains(stderr.String(), "missing.json") {
+		t.Errorf("error does not name the file: %q", stderr.String())
+	}
+}

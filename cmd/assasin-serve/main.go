@@ -11,9 +11,9 @@
 //	assasin-serve -once -quick               # exit when the experiments finish
 //
 // Endpoints: /healthz, /readyz, /metrics, /runs, /runs/{id}/report,
-// /debug/pprof/. Scraping never perturbs simulation results: the sim
-// goroutine publishes immutable snapshots at run boundaries and the
-// handlers only read published state.
+// /runs/{id}/timeline, /runs/{id}/compare/{other}, /debug/pprof/. Scraping
+// never perturbs simulation results: the sim goroutine publishes immutable
+// snapshots at run boundaries and the handlers only read published state.
 package main
 
 import (
@@ -32,6 +32,7 @@ import (
 	"assasin/internal/experiments"
 	"assasin/internal/obs"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/timeline"
 )
 
 func main() {
@@ -96,9 +97,10 @@ func main() {
 	tel.Log = log
 	cfg.Telemetry = tel
 	cfg.Workers = 1
+	cfg.Timeline = &timeline.Config{}
 	coll := obs.NewCollector()
 	cfg.OnRunDone = func(rec experiments.RunRecord) {
-		coll.ObserveRun(rec.AttributionRun())
+		coll.ObserveRunTimeline(rec.AttributionRun(), rec.Timeline)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

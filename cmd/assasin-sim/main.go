@@ -8,6 +8,8 @@
 //	assasin-sim -arch Baseline -kernel filter -mb 2
 //	assasin-sim -arch UDP -kernel aes -mb 0.25 -adjusted
 //	assasin-sim -kernel scan -trace trace.json -metrics metrics.json
+//	assasin-sim -kernel stat -timeline tl.json -report
+//	assasin-sim -arch AssasinSb -kernel stat -diff baseline-metrics.json
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/timeline"
 )
 
 // stopProfiles finalizes -cpuprofile/-memprofile output; every exit path
@@ -42,6 +46,9 @@ func main() {
 		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto)")
 		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file")
+		tlPth    = flag.String("timeline", "", "write the run's sampled timeline JSON file")
+		tlIvalUs = flag.Float64("timeline-interval-us", 10, "timeline sampling interval in simulated microseconds")
+		diffPth  = flag.String("diff", "", "compare this run against a baseline JSON file (metrics, timeline, report, or BENCH envelope)")
 		report   = flag.Bool("report", false, "print the run's bottleneck-attribution report")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -78,13 +85,23 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *tlIvalUs <= 0 {
+		fail(fmt.Errorf("-timeline-interval-us must be > 0, got %g", *tlIvalUs))
+	}
 	var tel *telemetry.Sink
-	if *tracePth != "" || *metrPth != "" || *report {
+	if *tracePth != "" || *metrPth != "" || *report || *tlPth != "" || *diffPth != "" {
 		tel = telemetry.NewSink()
 		tel.Log = log
 		tel.StartRun(fmt.Sprintf("%s/%s", *archName, *kernel))
 	}
-	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, Telemetry: tel, Log: log})
+	var sampler *timeline.Sampler
+	if *tlPth != "" || *diffPth != "" {
+		sampler = timeline.New(tel, timeline.Config{
+			IntervalPs:   int64(*tlIvalUs * 1e6),
+			TraceClasses: *tracePth != "",
+		})
+	}
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, Telemetry: tel, Timeline: sampler, Log: log})
 	size := int(*mb * (1 << 20))
 	size -= size % 64
 	var lpaLists [][]int
@@ -135,9 +152,12 @@ func main() {
 	if tel != nil || *report {
 		s.PublishStats()
 	}
-	if *report {
+	label := fmt.Sprintf("%s/%v", k.Name(), arch)
+	tl := sampler.Finish(label, int64(res.Duration))
+	var rep *analyze.RunReport
+	if *report || *diffPth != "" {
 		run := analyze.Run{
-			Label:      fmt.Sprintf("%s/%v", k.Name(), arch),
+			Label:      label,
 			Kernel:     k.Name(),
 			Arch:       arch.String(),
 			Cores:      *cores,
@@ -155,7 +175,11 @@ func main() {
 			snap := tel.Metrics()
 			run.Metrics = &snap
 		}
-		fmt.Print(analyze.FormatReport(analyze.Attribute(run)))
+		rep = analyze.Attribute(run)
+		analyze.AttachPhases(rep, tl)
+	}
+	if *report {
+		fmt.Print(analyze.FormatReport(rep))
 	}
 	if tel != nil {
 		if *tracePth != "" {
@@ -170,6 +194,24 @@ func main() {
 			}
 			fmt.Printf("  metrics     %s\n", *metrPth)
 		}
+		if *tlPth != "" {
+			if err := tl.WriteFile(*tlPth); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  timeline    %s (%d samples)\n", *tlPth, len(tl.TimesPs))
+		}
+	}
+	if *diffPth != "" {
+		other, err := diff.LoadFile(*diffPth)
+		if err != nil {
+			fail(err)
+		}
+		cur := diff.RunData{Label: label, Report: rep, Timeline: tl}
+		if tel != nil {
+			snap := tel.Metrics()
+			cur.Metrics = &snap
+		}
+		fmt.Print(diff.Compare(other, cur).Format())
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/timeline"
 )
 
 // Config scales the experiments.
@@ -49,12 +50,31 @@ type Config struct {
 	Exec cpu.ExecMode `json:"exec,omitempty"`
 	// Telemetry, when non-nil, is handed to every SSD an experiment
 	// builds. The sink is not goroutine-safe, so callers must keep
-	// Workers <= 1 when setting it (cmd/assasin-bench enforces this).
+	// Workers <= 1 when setting it — unless PerRunTelemetry is also set,
+	// which makes the metrics path parallel-safe (cmd/assasin-bench wires
+	// this; only trace capture still forces sequential runs).
 	Telemetry *telemetry.Sink `json:"-"`
+	// PerRunTelemetry gives every standalone run a private sink (with
+	// event recording disabled) in place of the shared Telemetry sink,
+	// absorbed into Telemetry at the run boundary via the goroutine-safe
+	// telemetry.AbsorbMetrics. Absorption is commutative — counters and
+	// histograms sum, gauges take maxima — so the merged snapshot is
+	// identical for any Workers setting or completion order. RunRecord
+	// snapshots then cover exactly one run. Trace events cannot be
+	// captured this way: -trace still needs the shared sink and
+	// sequential execution.
+	PerRunTelemetry bool `json:"-"`
+	// Timeline, when non-nil, attaches a sim-time sampler with this
+	// configuration to every standalone run; the finished per-run
+	// timeline is delivered on RunRecord.Timeline. Samplers are per-run
+	// and driven by simulated time, so timelines are byte-identical
+	// across Workers settings.
+	Timeline *timeline.Config `json:"-"`
 	// OnRunDone, when non-nil, receives a record of every completed
 	// standalone run: label, per-core cycle decomposition, and (when
 	// Telemetry is set) the post-run metrics snapshot. It is invoked on
-	// the simulation goroutine, so like Telemetry it requires Workers <= 1.
+	// the run's simulation goroutine: with Workers > 1 (PerRunTelemetry)
+	// invocations are concurrent, so handlers must be goroutine-safe.
 	OnRunDone func(RunRecord) `json:"-"`
 	// Log, when non-nil, receives run lifecycle events (start/finish at
 	// Debug/Info). Handlers must be goroutine-safe when Workers > 1.
@@ -123,6 +143,11 @@ type runOpts struct {
 	// opens a trace run labeled "<kernel>/<arch>" and publishes the
 	// component snapshot gauges after the run.
 	telemetry *telemetry.Sink
+	// perRunTel swaps telemetry for a private per-run sink absorbed at the
+	// run boundary (see Config.PerRunTelemetry).
+	perRunTel bool
+	// timeline, when non-nil, attaches a per-run sim-time sampler.
+	timeline *timeline.Config
 	// onRunDone, when non-nil, receives the completed run's RunRecord
 	// (with a metrics snapshot when telemetry is set).
 	onRunDone func(RunRecord)
@@ -134,6 +159,8 @@ type runOpts struct {
 // options so every runStandalone call site stays a one-liner.
 func (c Config) instrument(o runOpts) runOpts {
 	o.telemetry = c.Telemetry
+	o.perRunTel = c.PerRunTelemetry
+	o.timeline = c.Timeline
 	o.onRunDone = c.OnRunDone
 	o.log = c.Log
 	return o
@@ -152,8 +179,23 @@ func (r *runResult) throughput() float64 { return r.res.Throughput() }
 // kernel across the cores.
 func runStandalone(o runOpts) (*runResult, error) {
 	label := fmt.Sprintf("%s/%v", o.kernel.Name(), o.arch)
-	if o.telemetry != nil {
-		o.telemetry.StartRun(label)
+	tel := o.telemetry
+	var root *telemetry.Sink
+	if o.perRunTel && tel != nil {
+		// Parallel-safe metrics: this run gets a private sink (no event
+		// recording) and the shared sink only sees the commutative absorb
+		// at the end, so concurrent runs never touch shared mutable state.
+		root = tel
+		tel = telemetry.NewSink()
+		tel.MaxEvents = -1
+		tel.Log = o.log
+	}
+	if tel != nil {
+		tel.StartRun(label)
+	}
+	var sampler *timeline.Sampler
+	if o.timeline != nil {
+		sampler = timeline.New(tel, *o.timeline)
 	}
 	if o.log != nil {
 		o.log.Debug("run start", "run", label, "cores", o.cores, "arch", o.arch.String())
@@ -165,7 +207,8 @@ func runStandalone(o runOpts) (*runResult, error) {
 		WindowPages:    o.windowPages,
 		Exec:           o.exec,
 		CoreQuantum:    o.coreQuantum,
-		Telemetry:      o.telemetry,
+		Telemetry:      tel,
+		Timeline:       sampler,
 		Log:            o.log,
 	})
 	var lpaLists [][]int
@@ -204,12 +247,16 @@ func runStandalone(o runOpts) (*runResult, error) {
 			Duration:   res.Duration,
 			InputBytes: res.InputBytes,
 			CoreStats:  res.CoreStats,
+			Timeline:   sampler.Finish(label, int64(res.Duration)),
 		}
-		if o.telemetry != nil {
-			snap := o.telemetry.Metrics()
+		if tel != nil {
+			snap := tel.Metrics()
 			rec.Metrics = &snap
 		}
 		o.onRunDone(rec)
+	}
+	if root != nil {
+		root.AbsorbMetrics(tel)
 	}
 	return &runResult{res: res, instance: s}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/timeline"
 )
 
 // RunRecord is the observable summary of one completed standalone run,
@@ -22,8 +23,12 @@ type RunRecord struct {
 	InputBytes int64
 	CoreStats  []cpu.Stats
 	// Metrics is the post-run telemetry snapshot, nil when the run was not
-	// instrumented.
+	// instrumented. Under Config.PerRunTelemetry it covers exactly this
+	// run; on a shared sink it is cumulative across the fan-out so far.
 	Metrics *telemetry.MetricsSnapshot
+	// Timeline is the run's sampled timeline, nil unless Config.Timeline
+	// was set.
+	Timeline *timeline.Timeline
 }
 
 // AttributionRun converts the record into the analyze package's input,

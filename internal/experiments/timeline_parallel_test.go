@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/timeline"
+)
+
+// captureTable2 runs the Table II survey with per-run telemetry and
+// timelines at the given pool width, returning the absorbed root-sink
+// metrics JSON and each run's timeline JSON keyed by label.
+func captureTable2(t *testing.T, workers int) (string, map[string]string) {
+	t.Helper()
+	cfg := quickFor(workers)
+	root := telemetry.NewSink()
+	cfg.Telemetry = root
+	cfg.PerRunTelemetry = true
+	cfg.Timeline = &timeline.Config{IntervalPs: 1_000_000}
+	var mu sync.Mutex
+	timelines := make(map[string]string)
+	cfg.OnRunDone = func(rec RunRecord) {
+		if rec.Timeline == nil {
+			t.Errorf("%s: no timeline on record", rec.Label)
+			return
+		}
+		if rec.Metrics == nil || rec.Metrics.Counters["fw/pages_fed"] <= 0 {
+			t.Errorf("%s: per-run metrics snapshot missing or empty", rec.Label)
+		}
+		var buf bytes.Buffer
+		if err := rec.Timeline.WriteJSON(&buf); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		timelines[rec.Label] = buf.String()
+		mu.Unlock()
+	}
+	if _, err := Table2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var mbuf bytes.Buffer
+	if err := root.WriteMetricsJSON(&mbuf); err != nil {
+		t.Fatal(err)
+	}
+	return mbuf.String(), timelines
+}
+
+// TestTimelineParallelDeterminism checks the parallel-safe metrics path end
+// to end: with per-run sinks absorbed at run boundaries, both the merged
+// root snapshot and every per-run timeline are byte-identical between
+// sequential and 4-way parallel execution.
+func TestTimelineParallelDeterminism(t *testing.T) {
+	seqMetrics, seqTLs := captureTable2(t, 1)
+	parMetrics, parTLs := captureTable2(t, 4)
+
+	if seqMetrics != parMetrics {
+		t.Errorf("absorbed metrics snapshots differ between workers=1 and workers=4:\n--- seq\n%s\n--- par\n%s",
+			seqMetrics, parMetrics)
+	}
+	if len(seqTLs) == 0 || len(seqTLs) != len(parTLs) {
+		t.Fatalf("timeline counts differ: %d vs %d", len(seqTLs), len(parTLs))
+	}
+	for label, seq := range seqTLs {
+		if par, ok := parTLs[label]; !ok {
+			t.Errorf("parallel run missing timeline for %s", label)
+		} else if seq != par {
+			t.Errorf("%s: timeline JSON differs between workers=1 and workers=4", label)
+		}
+	}
+}

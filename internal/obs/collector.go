@@ -19,6 +19,7 @@ import (
 
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/timeline"
 )
 
 // Collector accumulates completed-run reports and the latest metrics
@@ -26,16 +27,20 @@ import (
 // valid disabled collector: every method is a cheap no-op, so call sites
 // can wire it unconditionally.
 type Collector struct {
-	mu      sync.Mutex
-	ready   bool
-	snap    telemetry.MetricsSnapshot
-	reports []*analyze.RunReport
-	byID    map[string]*analyze.RunReport
+	mu        sync.Mutex
+	ready     bool
+	snap      telemetry.MetricsSnapshot
+	reports   []*analyze.RunReport
+	byID      map[string]*analyze.RunReport
+	timelines map[string]*timeline.Timeline
 }
 
 // NewCollector returns an empty enabled collector.
 func NewCollector() *Collector {
-	return &Collector{byID: make(map[string]*analyze.RunReport)}
+	return &Collector{
+		byID:      make(map[string]*analyze.RunReport),
+		timelines: make(map[string]*timeline.Timeline),
+	}
 }
 
 // ObserveRun attributes one completed run and stores the report under a
@@ -44,6 +49,15 @@ func NewCollector() *Collector {
 // snapshot and the new snapshot becomes the latest for /metrics. Returns
 // the stored report (nil on a nil collector).
 func (c *Collector) ObserveRun(run analyze.Run) *analyze.RunReport {
+	return c.ObserveRunTimeline(run, nil)
+}
+
+// ObserveRunTimeline is ObserveRun for runs that also sampled a timeline:
+// the timeline is stored under the run's id (served at
+// /runs/{id}/timeline, compared at /runs/{id}/compare/{other}) and its
+// phase segmentation is attached to the report before publication, keeping
+// stored reports immutable.
+func (c *Collector) ObserveRunTimeline(run analyze.Run, tl *timeline.Timeline) *analyze.RunReport {
 	if c == nil {
 		return nil
 	}
@@ -55,12 +69,26 @@ func (c *Collector) ObserveRun(run analyze.Run) *analyze.RunReport {
 	}
 	rep := analyze.Attribute(run)
 	rep.ID = runID(len(c.reports) + 1)
+	analyze.AttachPhases(rep, tl)
 	c.reports = append(c.reports, rep)
 	c.byID[rep.ID] = rep
+	if tl != nil {
+		c.timelines[rep.ID] = tl
+	}
 	if run.Metrics != nil {
 		c.snap = *run.Metrics
 	}
 	return rep
+}
+
+// Timeline returns the timeline stored under a run id, or nil.
+func (c *Collector) Timeline(id string) *timeline.Timeline {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.timelines[id]
 }
 
 // runID formats the sequential run id.

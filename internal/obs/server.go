@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+
+	"assasin/internal/telemetry/diff"
 )
 
 // runSummary is one row of the /runs listing.
@@ -24,9 +26,11 @@ type runSummary struct {
 //	/healthz            liveness (always 200 once serving)
 //	/readyz             readiness (503 until MarkReady)
 //	/metrics            Prometheus text format, latest published snapshot
-//	/runs               JSON list of completed runs
-//	/runs/{id}/report   one run's full attribution report
-//	/debug/pprof/*      the standard Go profiling endpoints
+//	/runs                     JSON list of completed runs
+//	/runs/{id}/report         one run's full attribution report
+//	/runs/{id}/timeline       the run's sampled timeline (404 when not sampled)
+//	/runs/{id}/compare/{other} differential report between two runs
+//	/debug/pprof/*            the standard Go profiling endpoints
 //
 // Every endpoint reads only published, immutable data, so scraping while a
 // simulation runs on another goroutine cannot perturb its results.
@@ -66,9 +70,30 @@ func NewHandler(c *Collector) http.Handler {
 		}
 		writeJSON(w, rep)
 	})
+	mux.HandleFunc("GET /runs/{id}/timeline", func(w http.ResponseWriter, r *http.Request) {
+		tl := c.Timeline(r.PathValue("id"))
+		if tl == nil {
+			http.Error(w, "unknown run or no timeline", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, tl)
+	})
+	mux.HandleFunc("GET /runs/{id}/compare/{other}", func(w http.ResponseWriter, r *http.Request) {
+		a, b := r.PathValue("id"), r.PathValue("other")
+		repA, repB := c.Report(a), c.Report(b)
+		if repA == nil || repB == nil {
+			http.Error(w, "unknown run", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, diff.Compare(
+			diff.RunData{Label: repA.Label, Report: repA, Timeline: c.Timeline(a)},
+			diff.RunData{Label: repB.Label, Report: repB, Timeline: c.Timeline(b)},
+		))
+	})
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "assasin-serve endpoints:\n"+
-			"  /healthz\n  /readyz\n  /metrics\n  /runs\n  /runs/{id}/report\n  /debug/pprof/\n")
+			"  /healthz\n  /readyz\n  /metrics\n  /runs\n  /runs/{id}/report\n"+
+			"  /runs/{id}/timeline\n  /runs/{id}/compare/{other}\n  /debug/pprof/\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -106,6 +106,13 @@ type Scheduler struct {
 	// emits one span per dispatch on a per-process track.
 	Tel *SchedTel
 
+	// OnAdvance, when non-nil, is called before every dispatch with the
+	// dispatched process's start time in picoseconds — the committed
+	// simulation horizon at that moment (conservative interleaving keeps
+	// other processes within one quantum of it). Timeline samplers hook
+	// here; the disabled path is a single nil check.
+	OnAdvance func(nowPs int64)
+
 	procs  []*procEntry
 	index  map[Process]*procEntry
 	quanta map[Process]Time // per-process quanta, also for not-yet-added procs
@@ -243,6 +250,9 @@ func (s *Scheduler) Run(deadline Time) (Time, error) {
 
 		if next.readyAt > next.local {
 			next.local = next.readyAt // the process was stalled; jump forward
+		}
+		if s.OnAdvance != nil {
+			s.OnAdvance(int64(next.local))
 		}
 		q := next.quantum
 		if q <= 0 {

@@ -19,6 +19,8 @@ import (
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/timeline"
 )
 
 // Arch identifies a Table IV configuration.
@@ -133,6 +135,12 @@ type Options struct {
 	// The sink is not goroutine-safe: do not share one sink between SSDs
 	// simulated concurrently.
 	Telemetry *telemetry.Sink
+	// Timeline, when non-nil, attaches a sim-time sampler to the SSD's
+	// scheduler: every dispatch ticks it, and a per-class cycle-accounting
+	// probe feeds the "class/<name>" series the phase segmenter consumes.
+	// Like Telemetry, the sampler belongs to this SSD's simulation
+	// goroutine. Nil disables sampling at nil-pointer-branch cost.
+	Timeline *timeline.Sampler
 	// Log, when non-nil, receives offload lifecycle events: request
 	// submission and completion at Debug level. Handlers must be
 	// goroutine-safe when SSDs run concurrently.
@@ -221,6 +229,10 @@ func New(opt Options) *SSD {
 			s.Xbar.Tel = crossbar.NewTel(tel)
 		}
 		s.streamTel = memhier.NewStreamTel(tel)
+	}
+	if tl := opt.Timeline; tl != nil {
+		s.Sched.OnAdvance = tl.Tick
+		tl.AddProbe(s.classProbe)
 	}
 
 	coreClock := sim.NewClock(1e9)
@@ -324,6 +336,33 @@ func New(opt Options) *SSD {
 	return s
 }
 
+// classTimes sums the per-core cycle accounting into the five attribution
+// classes, in picoseconds: issue time plus the four-way stall taxonomy
+// (StallMem → cache-dram-wait, StallStreamWait → stream-refill-wait,
+// StallOutFull → out-full-wait, StallExec → exec-stall).
+func (s *SSD) classTimes() (busy, mem, refill, outFull, exec int64) {
+	for _, c := range s.Cores {
+		st := c.Stats()
+		busy += int64(st.BusyTime)
+		mem += int64(st.StallTime[cpu.StallMem])
+		refill += int64(st.StallTime[cpu.StallStreamWait])
+		outFull += int64(st.StallTime[cpu.StallOutFull])
+		exec += int64(st.StallTime[cpu.StallExec])
+	}
+	return
+}
+
+// classProbe feeds the timeline sampler the live cumulative class times, as
+// "class/<name>" series (the phase segmenter's input).
+func (s *SSD) classProbe(emit func(key string, cumulative int64)) {
+	busy, mem, refill, outFull, exec := s.classTimes()
+	emit(timeline.ClassPrefix+analyze.ClassCoreBusy, busy)
+	emit(timeline.ClassPrefix+analyze.ClassCacheDRAMWait, mem)
+	emit(timeline.ClassPrefix+analyze.ClassStreamRefillWait, refill)
+	emit(timeline.ClassPrefix+analyze.ClassOutFullWait, outFull)
+	emit(timeline.ClassPrefix+analyze.ClassExecStall, exec)
+}
+
 // PublishStats snapshots cumulative component state — per-channel flash
 // busy time and bytes, crossbar port busy/bytes, FTL write/GC totals, DRAM
 // traffic, and the aggregated L1 cache hit/miss counters — into telemetry
@@ -352,6 +391,16 @@ func (s *SSD) PublishStats() {
 	tel.Gauge("ftl", "erases").Set(fs.Erases)
 	tel.Gauge("ftl", "gc_invocations").Set(fs.GCInvocations)
 	tel.Gauge("dram", "total_bytes").Set(s.DRAM.TotalBytes())
+	// Per-class core time aggregates: the same numbers the attribution
+	// report derives from CoreStats, published as gauges so metrics-only
+	// exports (-metrics files, BENCH envelopes) carry enough for the diff
+	// engine to rank class deltas without a report.
+	busy, mem, refill, outFull, exec := s.classTimes()
+	tel.Gauge("class", analyze.ClassCoreBusy+"_ps").Set(busy)
+	tel.Gauge("class", analyze.ClassCacheDRAMWait+"_ps").Set(mem)
+	tel.Gauge("class", analyze.ClassStreamRefillWait+"_ps").Set(refill)
+	tel.Gauge("class", analyze.ClassOutFullWait+"_ps").Set(outFull)
+	tel.Gauge("class", analyze.ClassExecStall+"_ps").Set(exec)
 	// Unify the existing per-cache hit/miss stats into the metrics export,
 	// aggregated across cores (cached architectures only).
 	var cs memhier.CacheStats

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/timeline"
 )
 
 // Stall-attribution classes: every simulated core cycle of a run belongs
@@ -48,6 +49,12 @@ const (
 // classes hold equal time).
 var classOrder = []string{
 	ClassCoreBusy, ClassCacheDRAMWait, ClassStreamRefillWait, ClassOutFullWait, ClassExecStall,
+}
+
+// Classes returns the five attribution classes in canonical order (a copy;
+// consumers like the diff engine iterate it for deterministic ranking).
+func Classes() []string {
+	return append([]string(nil), classOrder...)
 }
 
 // Run is the raw material of one attribution report. Cycle accounting is
@@ -133,6 +140,65 @@ type RunReport struct {
 	// Histograms holds percentile summaries of every registered histogram
 	// (cumulative over the sink's lifetime, exact for single-run sinks).
 	Histograms []HistQuantiles `json:"histograms,omitempty"`
+	// Phases is the dominant-class segmentation of the run, present when a
+	// timeline was sampled (see AttachPhases).
+	Phases []PhaseRow `json:"phases,omitempty"`
+}
+
+// PhaseRow is one dominant-class phase of a run, as rendered in reports.
+type PhaseRow struct {
+	Class   string `json:"class"`
+	StartPs int64  `json:"start_ps"`
+	EndPs   int64  `json:"end_ps"`
+	// Frac is the phase's share of the run duration.
+	Frac float64 `json:"frac"`
+	// Classes is the per-class core time inside the phase, largest first
+	// (classOrder breaks ties), with fractions of the phase's core time.
+	Classes []ClassShare `json:"classes,omitempty"`
+}
+
+// PhasesFromTimeline converts a sampled timeline's segmentation into report
+// rows. durationPs scales the per-phase Frac (0 disables it).
+func PhasesFromTimeline(tl *timeline.Timeline, durationPs int64) []PhaseRow {
+	if tl == nil {
+		return nil
+	}
+	rows := make([]PhaseRow, 0, len(tl.Phases))
+	for _, p := range tl.Phases {
+		row := PhaseRow{Class: p.Class, StartPs: p.StartPs, EndPs: p.EndPs}
+		if durationPs > 0 {
+			row.Frac = float64(p.DurationPs()) / float64(durationPs)
+		}
+		var total int64
+		for _, ps := range p.ClassPs {
+			total += ps
+		}
+		for _, class := range classOrder {
+			ps, ok := p.ClassPs[class]
+			if !ok {
+				continue
+			}
+			share := ClassShare{Class: class, Ps: ps}
+			if total > 0 {
+				share.Frac = float64(ps) / float64(total)
+			}
+			row.Classes = append(row.Classes, share)
+		}
+		sort.SliceStable(row.Classes, func(i, j int) bool {
+			return row.Classes[i].Ps > row.Classes[j].Ps
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AttachPhases adds the timeline's phase segmentation to an existing
+// report. Safe no-op when either side is nil.
+func AttachPhases(rep *RunReport, tl *timeline.Timeline) {
+	if rep == nil || tl == nil {
+		return
+	}
+	rep.Phases = PhasesFromTimeline(tl, rep.DurationPs)
 }
 
 // Attribute computes the report for one run.
@@ -324,6 +390,14 @@ func FormatReport(r *RunReport) string {
 		fmt.Fprintf(&b, "  component utilization (busy fraction of run):\n")
 		for _, c := range r.Components {
 			fmt.Fprintf(&b, "    %-16s%7.1f%%\n", c.Component, 100*c.Util)
+		}
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "  phases (dominant stall class over time):\n")
+		fmt.Fprintf(&b, "    %-20s%14s%14s%8s\n", "class", "start", "end", "share")
+		for _, p := range r.Phases {
+			fmt.Fprintf(&b, "    %-20s%14s%14s%7.1f%%\n",
+				p.Class, fmtPs(p.StartPs), fmtPs(p.EndPs), 100*p.Frac)
 		}
 	}
 	if len(r.Histograms) > 0 {

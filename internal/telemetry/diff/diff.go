@@ -1,0 +1,439 @@
+// Package diff is the run-vs-run differential engine: it aligns two runs'
+// attribution reports, metrics snapshots and timelines (any subset) and
+// emits ranked "what changed" tables — per-class core-time deltas, per-
+// counter deltas, and per-phase comparisons. Comparing Baseline against
+// AssasinSb on the same workload quantifies the paper's memory-wall
+// narrative: the top-ranked delta is the cache/DRAM-wait collapse that the
+// stream buffers buy.
+//
+// Everything is deterministic: rankings sort by magnitude with key-order
+// tiebreaks, so identical inputs render byte-identical output.
+package diff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/timeline"
+)
+
+// RunData is one side of a comparison. Any field may be nil; the engine
+// uses whatever is present — class times come from Report when available,
+// falling back to the "class/<name>_ps" gauges of Metrics (published by
+// ssd.PublishStats); counters come from Report deltas or raw Metrics;
+// phases need Timeline.
+type RunData struct {
+	Label    string
+	Report   *analyze.RunReport
+	Metrics  *telemetry.MetricsSnapshot
+	Timeline *timeline.Timeline
+}
+
+// ClassDelta is one stall class's change in summed core time.
+type ClassDelta struct {
+	Class string `json:"class"`
+	APs   int64  `json:"a_ps"`
+	BPs   int64  `json:"b_ps"`
+	// AFrac/BFrac are each side's share of its run's total core time.
+	AFrac float64 `json:"a_frac"`
+	BFrac float64 `json:"b_frac"`
+	// DeltaPs is BPs - APs; rankings sort by its magnitude.
+	DeltaPs int64 `json:"delta_ps"`
+}
+
+// CounterDelta is one counter's change.
+type CounterDelta struct {
+	Key   string `json:"key"`
+	A     int64  `json:"a"`
+	B     int64  `json:"b"`
+	Delta int64  `json:"delta"`
+	// Ratio is B/A, or 0 when A is 0 (JSON cannot carry infinities; the
+	// text renderer shows such rows as "inf").
+	Ratio float64 `json:"ratio"`
+	// score ranks counters by |delta| weighted by relative change, so a
+	// counter that doubled outranks one that moved 1% by the same absolute
+	// amount.
+	score float64
+}
+
+// PhaseSummary is one side's phase in the comparison.
+type PhaseSummary struct {
+	Class      string  `json:"class"`
+	StartPs    int64   `json:"start_ps"`
+	EndPs      int64   `json:"end_ps"`
+	DurationPs int64   `json:"duration_ps"`
+	Frac       float64 `json:"frac"` // share of that run's duration
+}
+
+// PhaseComparison lines the two segmentations up.
+type PhaseComparison struct {
+	A []PhaseSummary `json:"a"`
+	B []PhaseSummary `json:"b"`
+	// ClassDurations ranks per-class phase-time changes: for each class,
+	// the total duration of phases dominated by it on each side.
+	ClassDurations []ClassDelta `json:"class_durations,omitempty"`
+}
+
+// Report is the differential between two runs (A → B).
+type Report struct {
+	A string `json:"a"`
+	B string `json:"b"`
+	// Headline is the one-line answer to "what changed": the top-ranked
+	// class delta (or counter delta when no class data is present).
+	Headline string `json:"headline"`
+	// TopClass is the class behind the headline ("" when class data was
+	// unavailable) — the machine-readable pin for tests.
+	TopClass string `json:"top_class,omitempty"`
+
+	ADurationPs    int64   `json:"a_duration_ps,omitempty"`
+	BDurationPs    int64   `json:"b_duration_ps,omitempty"`
+	AThroughputBps float64 `json:"a_throughput_bps,omitempty"`
+	BThroughputBps float64 `json:"b_throughput_bps,omitempty"`
+
+	// Classes ranks every stall class by |DeltaPs|, largest first.
+	Classes []ClassDelta `json:"classes,omitempty"`
+	// Counters ranks counter deltas (top MaxCounters survive).
+	Counters []CounterDelta `json:"counters,omitempty"`
+	// Phases compares the two timelines' segmentations when both exist.
+	Phases *PhaseComparison `json:"phases,omitempty"`
+}
+
+// MaxCounters bounds the ranked counter table; everything below the cut is
+// omitted from the report (the full snapshots remain in the input files).
+const MaxCounters = 20
+
+// classTimes extracts per-class core time for one side, preferring the
+// report's exact accounting over the published gauges.
+func classTimes(d RunData) map[string]int64 {
+	if d.Report != nil && len(d.Report.Classes) > 0 {
+		out := make(map[string]int64, len(d.Report.Classes))
+		for _, s := range d.Report.Classes {
+			out[s.Class] = s.Ps
+		}
+		return out
+	}
+	if d.Metrics != nil {
+		out := make(map[string]int64)
+		for _, class := range analyze.Classes() {
+			if g, ok := d.Metrics.Gauges["class/"+class+"_ps"]; ok {
+				out[class] = g.Value
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	if d.Timeline != nil {
+		// Rate series integrate exactly (decimation preserves sums), so the
+		// timeline alone reconstructs the per-class totals.
+		out := make(map[string]int64)
+		for _, class := range analyze.Classes() {
+			if se := d.Timeline.SeriesByKey(timeline.ClassPrefix + class); se != nil {
+				var sum int64
+				for _, v := range se.Values {
+					sum += v
+				}
+				out[class] = sum
+			}
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return nil
+}
+
+// counters extracts one side's counter map: report deltas when present
+// (isolated to the run), else the raw snapshot.
+func counters(d RunData) map[string]int64 {
+	if d.Report != nil && len(d.Report.Counters) > 0 {
+		return d.Report.Counters
+	}
+	if d.Metrics != nil {
+		return d.Metrics.Counters
+	}
+	return nil
+}
+
+// Compare builds the differential report A → B.
+func Compare(a, b RunData) *Report {
+	rep := &Report{A: sideLabel(a, "A"), B: sideLabel(b, "B")}
+	if a.Report != nil {
+		rep.ADurationPs = a.Report.DurationPs
+		rep.AThroughputBps = a.Report.ThroughputBps
+	}
+	if b.Report != nil {
+		rep.BDurationPs = b.Report.DurationPs
+		rep.BThroughputBps = b.Report.ThroughputBps
+	}
+
+	rep.Classes = classDeltas(classTimes(a), classTimes(b))
+	rep.Counters = counterDeltas(counters(a), counters(b))
+	if a.Timeline != nil && b.Timeline != nil {
+		rep.Phases = comparePhases(a.Timeline, b.Timeline)
+	}
+
+	switch {
+	case len(rep.Classes) > 0:
+		top := rep.Classes[0]
+		rep.TopClass = top.Class
+		rep.Headline = fmt.Sprintf("%s: %s -> %s (%s of core time %.1f%% -> %.1f%%)",
+			top.Class, fmtPs(top.APs), fmtPs(top.BPs), signedPs(top.DeltaPs),
+			100*top.AFrac, 100*top.BFrac)
+	case len(rep.Counters) > 0:
+		top := rep.Counters[0]
+		rep.Headline = fmt.Sprintf("%s: %d -> %d (%+d)", top.Key, top.A, top.B, top.Delta)
+	default:
+		rep.Headline = "no comparable data"
+	}
+	return rep
+}
+
+// sideLabel resolves a display label for one side.
+func sideLabel(d RunData, fallback string) string {
+	switch {
+	case d.Label != "":
+		return d.Label
+	case d.Report != nil && d.Report.Label != "":
+		return d.Report.Label
+	case d.Timeline != nil && d.Timeline.Run != "":
+		return d.Timeline.Run
+	default:
+		return fallback
+	}
+}
+
+// classDeltas ranks the five classes by |delta|, canonical order breaking
+// ties. Returns nil when neither side had class data.
+func classDeltas(a, b map[string]int64) []ClassDelta {
+	if a == nil && b == nil {
+		return nil
+	}
+	var aTotal, bTotal int64
+	for _, ps := range a {
+		aTotal += ps
+	}
+	for _, ps := range b {
+		bTotal += ps
+	}
+	var out []ClassDelta
+	for _, class := range analyze.Classes() {
+		d := ClassDelta{Class: class, APs: a[class], BPs: b[class]}
+		d.DeltaPs = d.BPs - d.APs
+		if aTotal > 0 {
+			d.AFrac = float64(d.APs) / float64(aTotal)
+		}
+		if bTotal > 0 {
+			d.BFrac = float64(d.BPs) / float64(bTotal)
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return abs64(out[i].DeltaPs) > abs64(out[j].DeltaPs) })
+	return out
+}
+
+// counterDeltas ranks changed counters; the score weights absolute movement
+// by log-relative change so both "huge but proportional" and "small but
+// ratio-shattering" changes surface, deterministically tie-broken by key.
+func counterDeltas(a, b map[string]int64) []CounterDelta {
+	if a == nil && b == nil {
+		return nil
+	}
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	var out []CounterDelta
+	for k := range keys {
+		d := CounterDelta{Key: k, A: a[k], B: b[k]}
+		d.Delta = d.B - d.A
+		if d.Delta == 0 {
+			continue
+		}
+		if d.A > 0 {
+			d.Ratio = float64(d.B) / float64(d.A)
+		}
+		rel := math.Abs(math.Log2((float64(d.B) + 1) / (float64(d.A) + 1)))
+		d.score = float64(abs64(d.Delta)) * (1 + rel)
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > MaxCounters {
+		out = out[:MaxCounters]
+	}
+	return out
+}
+
+// comparePhases summarizes both segmentations and ranks per-class phase-
+// duration changes.
+func comparePhases(a, b *timeline.Timeline) *PhaseComparison {
+	pc := &PhaseComparison{
+		A: phaseSummaries(a),
+		B: phaseSummaries(b),
+	}
+	durByClass := func(ps []PhaseSummary) map[string]int64 {
+		out := make(map[string]int64)
+		for _, p := range ps {
+			out[p.Class] += p.DurationPs
+		}
+		return out
+	}
+	ad, bd := durByClass(pc.A), durByClass(pc.B)
+	keys := make(map[string]bool, len(ad)+len(bd))
+	for k := range ad {
+		keys[k] = true
+	}
+	for k := range bd {
+		keys[k] = true
+	}
+	for k := range keys {
+		d := ClassDelta{Class: k, APs: ad[k], BPs: bd[k]}
+		d.DeltaPs = d.BPs - d.APs
+		pc.ClassDurations = append(pc.ClassDurations, d)
+	}
+	sort.Slice(pc.ClassDurations, func(i, j int) bool {
+		di, dj := abs64(pc.ClassDurations[i].DeltaPs), abs64(pc.ClassDurations[j].DeltaPs)
+		if di != dj {
+			return di > dj
+		}
+		return pc.ClassDurations[i].Class < pc.ClassDurations[j].Class
+	})
+	return pc
+}
+
+// phaseSummaries flattens one timeline's phases.
+func phaseSummaries(tl *timeline.Timeline) []PhaseSummary {
+	var dur int64
+	if n := len(tl.TimesPs); n > 0 {
+		dur = tl.TimesPs[n-1]
+	}
+	out := make([]PhaseSummary, 0, len(tl.Phases))
+	for _, p := range tl.Phases {
+		s := PhaseSummary{
+			Class: p.Class, StartPs: p.StartPs, EndPs: p.EndPs, DurationPs: p.DurationPs(),
+		}
+		if dur > 0 {
+			s.Frac = float64(s.DurationPs) / float64(dur)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Differential — %s vs %s\n", r.A, r.B)
+	if r.ADurationPs > 0 || r.BDurationPs > 0 {
+		fmt.Fprintf(&b, "  duration    %s -> %s (%s)\n",
+			fmtPs(r.ADurationPs), fmtPs(r.BDurationPs), ratioStr(float64(r.BDurationPs), float64(r.ADurationPs)))
+	}
+	if r.AThroughputBps > 0 || r.BThroughputBps > 0 {
+		fmt.Fprintf(&b, "  throughput  %.2f GB/s -> %.2f GB/s (%s)\n",
+			r.AThroughputBps/1e9, r.BThroughputBps/1e9, ratioStr(r.BThroughputBps, r.AThroughputBps))
+	}
+	fmt.Fprintf(&b, "  what changed: %s\n", r.Headline)
+	if len(r.Classes) > 0 {
+		fmt.Fprintf(&b, "  core time by class (ranked by |delta|):\n")
+		fmt.Fprintf(&b, "    %-20s%14s%14s%14s%10s%10s\n", "class", "a", "b", "delta", "a-frac", "b-frac")
+		for _, d := range r.Classes {
+			fmt.Fprintf(&b, "    %-20s%14s%14s%14s%9.1f%%%9.1f%%\n",
+				d.Class, fmtPs(d.APs), fmtPs(d.BPs), signedPs(d.DeltaPs), 100*d.AFrac, 100*d.BFrac)
+		}
+	}
+	if len(r.Counters) > 0 {
+		fmt.Fprintf(&b, "  counters (top %d by weighted |delta|):\n", len(r.Counters))
+		fmt.Fprintf(&b, "    %-32s%14s%14s%14s%9s\n", "counter", "a", "b", "delta", "ratio")
+		for _, d := range r.Counters {
+			fmt.Fprintf(&b, "    %-32s%14d%14d%+14d%9s\n", d.Key, d.A, d.B, d.Delta, ratioCell(d))
+		}
+	}
+	if r.Phases != nil {
+		fmt.Fprintf(&b, "  phases:\n")
+		writePhases := func(side string, ps []PhaseSummary) {
+			for _, p := range ps {
+				fmt.Fprintf(&b, "    %s  %-20s%14s ->%13s%8.1f%%\n",
+					side, p.Class, fmtPs(p.StartPs), fmtPs(p.EndPs), 100*p.Frac)
+			}
+		}
+		writePhases("a", r.Phases.A)
+		writePhases("b", r.Phases.B)
+		if len(r.Phases.ClassDurations) > 0 {
+			fmt.Fprintf(&b, "  phase time by dominant class (ranked by |delta|):\n")
+			for _, d := range r.Phases.ClassDurations {
+				fmt.Fprintf(&b, "    %-20s%14s%14s%14s\n",
+					d.Class, fmtPs(d.APs), fmtPs(d.BPs), signedPs(d.DeltaPs))
+			}
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report as deterministic indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// fmtPs renders picoseconds with a readable unit.
+func fmtPs(ps int64) string {
+	switch {
+	case ps >= 1e9 || ps <= -1e9:
+		return fmt.Sprintf("%.3f ms", float64(ps)/1e9)
+	case ps >= 1e6 || ps <= -1e6:
+		return fmt.Sprintf("%.3f µs", float64(ps)/1e6)
+	default:
+		return fmt.Sprintf("%d ps", ps)
+	}
+}
+
+// signedPs is fmtPs with an explicit sign.
+func signedPs(ps int64) string {
+	if ps > 0 {
+		return "+" + fmtPs(ps)
+	}
+	return fmtPs(ps)
+}
+
+// ratioStr renders b/a as a multiplier.
+func ratioStr(b, a float64) string {
+	if a <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", b/a)
+}
+
+// ratioCell renders one counter row's ratio; a counter appearing from zero
+// has no finite ratio and shows as "inf".
+func ratioCell(d CounterDelta) string {
+	switch {
+	case d.A == 0 && d.B != 0:
+		return "inf"
+	case d.Ratio == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2fx", d.Ratio)
+	}
+}

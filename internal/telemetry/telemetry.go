@@ -16,14 +16,19 @@
 // The package deliberately does not import internal/sim so that every
 // simulator package — including sim itself — can depend on it.
 //
-// A Sink is not goroutine-safe: it belongs to one simulation goroutine
-// (cmd wiring forces sequential runs when telemetry is enabled).
+// A Sink is not goroutine-safe: it belongs to one simulation goroutine.
+// Parallel fan-outs give every run a private sink and merge the results at
+// the run boundary with AbsorbMetrics (the only goroutine-safe method);
+// only trace capture, which needs one shared event buffer, still requires
+// sequential simulation.
 package telemetry
 
 import (
 	"fmt"
 	"log/slog"
 	"math"
+	"sort"
+	"sync"
 )
 
 // Kind discriminates the metric types a (component, name) pair can hold.
@@ -238,8 +243,15 @@ type Sink struct {
 	events []event
 	// MaxEvents bounds the trace buffer; events past the cap are counted in
 	// dropped (surfaced in the metrics export) rather than silently lost.
+	// A negative value disables event recording entirely — per-run metric
+	// sinks in parallel fan-outs use this so span/instant calls cost one
+	// comparison and nothing accumulates.
 	MaxEvents int
 	dropped   int64
+
+	// absorbMu serializes AbsorbMetrics calls from concurrent run
+	// goroutines; every other method remains single-goroutine.
+	absorbMu sync.Mutex
 
 	// Log, when non-nil, receives one structured warning the first time the
 	// trace buffer overflows MaxEvents (further drops are only counted).
@@ -317,4 +329,84 @@ func (s *Sink) Histogram(component, name string) *Histogram {
 		s.hists[key] = h
 	}
 	return h
+}
+
+// MetricInfo identifies one registered metric for read-side iteration
+// (timeline samplers discover the registry through it).
+type MetricInfo struct {
+	Component string
+	Name      string
+	Kind      Kind
+}
+
+// RegisteredCount returns how many metrics are registered. Samplers poll it
+// to detect new registrations cheaply between full Registered() scans.
+func (s *Sink) RegisteredCount() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.kinds)
+}
+
+// Registered returns every registered metric, sorted by component then
+// name, so consumers iterate the registry deterministically.
+func (s *Sink) Registered() []MetricInfo {
+	if s == nil {
+		return nil
+	}
+	out := make([]MetricInfo, 0, len(s.kinds))
+	for k, kind := range s.kinds {
+		out = append(out, MetricInfo{Component: k.component, Name: k.name, Kind: kind})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// AbsorbMetrics merges child's metrics into s: counters and histograms sum,
+// gauges take the maximum of value and max. Every merge operation is
+// commutative, so absorbing a set of per-run sinks yields the same result
+// in any completion order — the property that makes parallel fan-outs
+// deterministic. Trace events are not merged (per-run sinks disable them).
+//
+// This is the Sink's only goroutine-safe method, and only with respect to
+// other AbsorbMetrics calls: while runs are being absorbed concurrently the
+// parent sink must not be used in any other way.
+func (s *Sink) AbsorbMetrics(child *Sink) {
+	if s == nil || child == nil || s == child {
+		return
+	}
+	s.absorbMu.Lock()
+	defer s.absorbMu.Unlock()
+	for key, c := range child.counters {
+		s.Counter(key.component, key.name).Add(c.Value())
+	}
+	for key, g := range child.gauges {
+		if !g.set {
+			continue
+		}
+		dst := s.Gauge(key.component, key.name)
+		if !dst.set || g.v > dst.v {
+			dst.v = g.v
+		}
+		if !dst.set || g.max > dst.max {
+			dst.max = g.max
+		}
+		dst.set = true
+	}
+	for key, h := range child.hists {
+		dst := s.Histogram(key.component, key.name)
+		for i, n := range h.buckets {
+			dst.buckets[i] += n
+		}
+		dst.count += h.count
+		dst.sum += h.sum
+		if h.max > dst.max {
+			dst.max = h.max
+		}
+	}
 }

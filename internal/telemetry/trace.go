@@ -9,6 +9,7 @@ package telemetry
 const (
 	phComplete = 'X'
 	phInstant  = 'i'
+	phCounter  = 'C'
 )
 
 // maxArgs bounds per-event args so event records stay flat (no per-event
@@ -86,6 +87,9 @@ func (s *Sink) Track(name string) *Track {
 }
 
 func (s *Sink) record(e event) {
+	if s.MaxEvents < 0 {
+		return
+	}
 	if s.MaxEvents > 0 && len(s.events) >= s.MaxEvents {
 		if s.dropped == 0 && s.Log != nil {
 			s.Log.Warn("telemetry: trace event cap reached, dropping further events",
@@ -119,13 +123,27 @@ func (t *Track) Instant(name string, tsPs int64, args ...Arg) {
 	t.sink.record(e)
 }
 
+// Counter records one counter-track sample at tsPs. The Chrome export
+// renders these as "ph":"C" events, which Perfetto graphs as a stacked
+// counter lane named after the event, so a sampler can mirror its series
+// into the trace timeline.
+func (t *Track) Counter(name string, tsPs, value int64) {
+	if t == nil {
+		return
+	}
+	e := event{pid: t.pid, tid: t.tid, ph: phCounter, name: name, ts: tsPs}
+	e.args[0] = Arg{Key: "value", Val: value}
+	e.nargs = 1
+	t.sink.record(e)
+}
+
 // TraceEvent is the read-side view of one recorded event, for tests and
 // programmatic consumers.
 type TraceEvent struct {
 	Run   string // run label (process name)
 	Track string // track name (thread name)
 	Name  string
-	Phase string // "X" (complete span) or "i" (instant)
+	Phase string // "X" (complete span), "i" (instant) or "C" (counter sample)
 	TsPs  int64
 	DurPs int64 // 0 for instants
 	Args  map[string]int64

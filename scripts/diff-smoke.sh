@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Smoke-test the differential engine end to end: run assasin-diff on the
+# two archived Stat metrics snapshots (Baseline vs AssasinSb) and check the
+# headline is the cache/DRAM-wait collapse the stream buffers buy — the
+# paper's memory-wall narrative, recovered from files alone.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=$(go run ./cmd/assasin-diff bench/METRICS_stat_baseline.json bench/METRICS_stat_assasinsb.json)
+echo "$out" | head -3
+
+echo "$out" | grep -q '^Differential — ' || { echo "diff-smoke: no header"; exit 1; }
+echo "$out" | grep -q 'what changed: cache-dram-wait' || {
+    echo "diff-smoke: headline is not the cache-dram-wait collapse"
+    echo "$out"
+    exit 1
+}
+
+top=$(go run ./cmd/assasin-diff -json bench/METRICS_stat_baseline.json bench/METRICS_stat_assasinsb.json |
+    grep -o '"top_class": *"[^"]*"' | head -1)
+echo "$top" | grep -q 'cache-dram-wait' || { echo "diff-smoke: top_class is $top"; exit 1; }
+
+echo "diff-smoke: OK"

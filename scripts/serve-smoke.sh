@@ -45,5 +45,10 @@ done
 }
 echo "$metrics" | grep -q '^assasin_serve_ready 1$' || { echo "serve-smoke: not ready"; exit 1; }
 
+# At least one run has completed (its counter is in /metrics), so its
+# sampled timeline must be served too.
+tl=$(curl -fsS "$addr/runs/run-0001/timeline")
+echo "$tl" | grep -q '"times_ps"' || { echo "serve-smoke: /runs/run-0001/timeline is not a timeline"; echo "$tl" | head -5; exit 1; }
+
 wait "$pid" || { echo "serve-smoke: server failed"; cat "$out"; exit 1; }
 echo "serve-smoke: OK"
