@@ -1,6 +1,6 @@
 # Convenience entry points; every target is plain go tooling underneath.
 
-.PHONY: all build test race bench bench-baseline bench-compare diff-smoke ci
+.PHONY: all build test race fuzz-smoke bench bench-baseline bench-compare diff-smoke ci
 
 all: test
 
@@ -10,12 +10,21 @@ build:
 test: build
 	go test ./...
 
-# The data-race gate for the packages the fused interpreter touches, the
+# The data-race gate for the packages the interpreters touch, the
 # telemetry sink (documented single-threaded; the race gate catches
 # accidental sharing from tests), and the observability layer that serves
-# concurrent scrapers against a running simulation.
+# concurrent scrapers against a running simulation. The cpu equivalence
+# soak (internal/experiments) also runs here: any Precise/Fused/Compiled
+# divergence is a release blocker.
 race:
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum'
+
+# A short bounded differential-fuzz pass over the three execution engines;
+# the checked-in corpus under internal/cpu/testdata/fuzz seeds it with
+# kernel-shaped programs.
+fuzz-smoke:
+	go test ./internal/cpu/ -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 10s
 
 # Run the differential engine against the archived Stat metrics snapshots
 # and check the ranked headline.
@@ -28,6 +37,8 @@ ci:
 	go build ./...
 	go test ./...
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum'
+	go test ./internal/cpu/ -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 10s
 	scripts/serve-smoke.sh
 	scripts/diff-smoke.sh
 

@@ -50,7 +50,7 @@ func main() {
 		sf       = flag.Float64("sf", 0, "override TPC-H scale factor")
 		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
 		parallel = flag.Int("parallel", runpool.DefaultWorkers(), "max concurrent simulation runs (1 = sequential; results are identical)")
-		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
+		execMode = flag.String("exec", "compiled", "interpreter strategy: compiled (threaded code, default), fused, or precise (results are identical)")
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto; forces -parallel 1)")
 		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file (parallel-safe: per-run sinks merged at run boundaries)")

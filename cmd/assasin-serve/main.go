@@ -44,7 +44,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "override compute engine count")
 		sf       = flag.Float64("sf", 0, "override TPC-H scale factor")
 		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
-		execMode = flag.String("exec", "fused", "interpreter strategy: fused or precise (results are identical)")
+		execMode = flag.String("exec", "compiled", "interpreter strategy: compiled (threaded code, default), fused, or precise (results are identical)")
 		once     = flag.Bool("once", false, "exit once the experiments finish instead of serving until interrupted")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)

@@ -41,7 +41,7 @@ type Config struct {
 	ScratchpadCycles int
 	// WithCache adds the AssasinSb$ 32K L1D backed by DRAM.
 	WithCache bool
-	// Exec selects the interpreter strategy (cpu.ExecFused by default).
+	// Exec selects the interpreter strategy (cpu.ExecCompiled by default).
 	Exec cpu.ExecMode
 }
 

@@ -33,7 +33,8 @@ func BenchmarkInterpreterALU(b *testing.B) {
 }
 
 // BenchmarkCoreStepALU measures the per-instruction dispatch cost of the
-// interpreter's hot loop (one op per iteration, allocation-free).
+// interpreter's hot loop (one op per iteration, allocation-free) in each
+// execution mode.
 func BenchmarkCoreStepALU(b *testing.B) {
 	bb := asm.New()
 	loop := bb.Here()
@@ -43,18 +44,23 @@ func BenchmarkCoreStepALU(b *testing.B) {
 	bb.Add(asm.T2, asm.T2, asm.T3)
 	bb.J(loop)
 	prog := bb.MustBuild()
-	cfg := DefaultConfig("bench")
-	cfg.BranchFree = true // keep the loop pure dispatch: no flush cycles
-	cfg.MaxInstructions = 1 << 62
-	c := New(cfg, newTestSystem())
-	c.LoadProgram(prog)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for c.Stats().Instructions < int64(b.N) {
-		c.Run(c.LocalTime() + 100*sim.Microsecond)
-	}
-	if c.Err() != nil {
-		b.Fatal(c.Err())
+	for _, mode := range []ExecMode{ExecCompiled, ExecFused, ExecPrecise} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := DefaultConfig("bench")
+			cfg.BranchFree = true // keep the loop pure dispatch: no flush cycles
+			cfg.MaxInstructions = 1 << 62
+			cfg.Exec = mode
+			c := New(cfg, newTestSystem())
+			c.LoadProgram(prog)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for c.Stats().Instructions < int64(b.N) {
+				c.Run(c.LocalTime() + 100*sim.Microsecond)
+			}
+			if c.Err() != nil {
+				b.Fatal(c.Err())
+			}
+		})
 	}
 }
 
@@ -77,7 +83,7 @@ func BenchmarkCoreFusedBlock(b *testing.B) {
 		bb.J(loop)
 		return bb.MustBuild()
 	}
-	for _, mode := range []ExecMode{ExecFused, ExecPrecise} {
+	for _, mode := range []ExecMode{ExecCompiled, ExecFused, ExecPrecise} {
 		b.Run(mode.String(), func(b *testing.B) {
 			cfg := DefaultConfig("bench")
 			cfg.BranchFree = true
@@ -97,7 +103,45 @@ func BenchmarkCoreFusedBlock(b *testing.B) {
 	}
 }
 
-// BenchmarkStreamLoadPath measures the stream-ISA fast path end to end.
+// BenchmarkCoreCompiledBlock exercises the threaded-code loop-body driver on
+// a recognized loop that is NOT pure-ALU (its back edge is a conditional
+// branch), so every iteration runs the per-instruction closure chain rather
+// than the closed-form batch kernel — the cost profile of real stream-kernel
+// bodies with data-dependent control flow.
+func BenchmarkCoreCompiledBlock(b *testing.B) {
+	bb := asm.New()
+	bb.Li(asm.T1, 1<<30)
+	loop := bb.Here()
+	bb.Addi(asm.T0, asm.T0, 1)
+	bb.Xor(asm.T2, asm.T2, asm.T0)
+	bb.Slli(asm.T3, asm.T0, 3)
+	bb.Add(asm.T2, asm.T2, asm.T3)
+	bb.Bltu(asm.T0, asm.T1, loop)
+	bb.Halt()
+	prog := bb.MustBuild()
+	for _, mode := range []ExecMode{ExecCompiled, ExecFused, ExecPrecise} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := DefaultConfig("bench")
+			cfg.BranchFree = true
+			cfg.MaxInstructions = 1 << 62
+			cfg.Exec = mode
+			c := New(cfg, newTestSystem())
+			c.LoadProgram(prog)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for c.Stats().Instructions < int64(b.N) {
+				c.Run(c.LocalTime() + 100*sim.Microsecond)
+			}
+			if c.Err() != nil {
+				b.Fatal(c.Err())
+			}
+		})
+	}
+}
+
+// BenchmarkStreamLoadPath measures the stream-ISA fast path end to end in
+// each execution mode (the bulk-ingest analog of memhier's
+// BenchmarkStreamBulkCopy, with the core in the loop).
 func BenchmarkStreamLoadPath(b *testing.B) {
 	bb := asm.New()
 	loop := bb.Here()
@@ -105,19 +149,25 @@ func BenchmarkStreamLoadPath(b *testing.B) {
 	bb.Add(asm.S0, asm.S0, asm.A0)
 	bb.J(loop)
 	prog := bb.MustBuild()
-	sys := newTestSystem()
-	c := New(DefaultConfig("bench"), sys)
-	c.LoadProgram(prog)
-	in := sys.Streams.In[0]
-	page := make([]byte, 1024)
-	b.SetBytes(1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for !in.CanPush(len(page)) {
-			c.Run(c.LocalTime() + sim.Microsecond)
-		}
-		in.Push(page, 0)
-		c.Run(c.LocalTime() + 10*sim.Microsecond)
+	for _, mode := range []ExecMode{ExecCompiled, ExecFused, ExecPrecise} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := DefaultConfig("bench")
+			cfg.Exec = mode
+			sys := newTestSystem()
+			c := New(cfg, sys)
+			c.LoadProgram(prog)
+			in := sys.Streams.In[0]
+			page := make([]byte, 1024)
+			b.SetBytes(1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !in.CanPush(len(page)) {
+					c.Run(c.LocalTime() + sim.Microsecond)
+				}
+				in.Push(page, 0)
+				c.Run(c.LocalTime() + 10*sim.Microsecond)
+			}
+		})
 	}
 }
 

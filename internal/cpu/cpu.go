@@ -33,9 +33,11 @@ type Config struct {
 	BranchFree bool
 	// MaxInstructions aborts runaway programs (0 = default guard).
 	MaxInstructions int64
-	// Exec selects the interpreter strategy: ExecFused (default) runs
-	// basic blocks and recognized stream loops as macro-steps with
-	// byte-identical timing; ExecPrecise forces per-instruction stepping.
+	// Exec selects the interpreter strategy: ExecCompiled (default)
+	// translates the program to threaded code at load time, ExecFused runs
+	// basic blocks and recognized stream loops as macro-steps through the
+	// decode switch, ExecPrecise forces per-instruction stepping. All three
+	// produce byte-identical timing and results.
 	Exec ExecMode
 }
 
@@ -139,6 +141,9 @@ type Core struct {
 	// loops[i] non-nil marks i as the head of a recognized stream loop.
 	aluRun []int32
 	loops  []*loopInfo
+	// comp is the load-time threaded-code translation (compiled.go);
+	// non-nil only under ExecCompiled.
+	comp *compiledProgram
 
 	regs   [isa.NumRegs]uint32
 	pc     int
@@ -226,8 +231,12 @@ func (c *Core) LoadProgram(p *asm.Program) {
 		for i, in := range p.Insts {
 			c.dec[i] = decode(in)
 		}
-		if c.cfg.Exec == ExecFused {
+		c.aluRun, c.loops, c.comp = nil, nil, nil
+		if c.cfg.Exec != ExecPrecise {
 			c.aluRun, c.loops = analyzeProgram(c.dec)
+			if c.cfg.Exec == ExecCompiled {
+				c.comp = c.compileProgram()
+			}
 		}
 		c.decFrom = p
 	}
@@ -327,7 +336,7 @@ func (c *Core) run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 		}
 		c.wakeAt = sim.MaxTime
 	}
-	fused := c.cfg.Exec == ExecFused
+	fused := c.cfg.Exec != ExecPrecise
 	for c.at <= limit {
 		if c.pc < 0 || c.pc >= len(c.dec) {
 			c.fail(fmt.Errorf("cpu %s: pc %d out of program (len %d)", c.cfg.Name, c.pc, len(c.dec)))

@@ -24,33 +24,46 @@ import (
 type ExecMode int
 
 const (
-	// ExecFused (default) runs basic blocks and recognized stream loops as
-	// macro-steps with timing identical to precise stepping.
-	ExecFused ExecMode = iota
+	// ExecCompiled (default) translates the decoded program to threaded
+	// code at load time: basic-block ALU runs and recognized stream-loop
+	// bodies become chains of specialized closures with registers and
+	// immediates pre-resolved, executed with timing identical to precise
+	// stepping (see compiled.go).
+	ExecCompiled ExecMode = iota
 	// ExecPrecise interprets one instruction per step — the reference
-	// semantics, kept as a debugging fallback.
+	// semantics, kept as a debugging fallback and equivalence oracle.
 	ExecPrecise
+	// ExecFused runs basic blocks and recognized stream loops as
+	// macro-steps through the decoded-instruction switch — the previous
+	// default, kept as the mid-point between Precise and Compiled.
+	ExecFused
 )
 
 // String implements fmt.Stringer.
 func (m ExecMode) String() string {
-	if m == ExecPrecise {
+	switch m {
+	case ExecPrecise:
 		return "precise"
+	case ExecFused:
+		return "fused"
+	default:
+		return "compiled"
 	}
-	return "fused"
 }
 
 // ParseExecMode maps a CLI string to an ExecMode; unknown values get an
-// error naming the valid modes (shared by assasin-sim and assasin-bench so
-// their -exec flags reject garbage identically).
+// error naming the valid modes (shared by assasin-sim, assasin-bench and
+// assasin-serve so their -exec flags reject garbage identically).
 func ParseExecMode(s string) (ExecMode, error) {
 	switch s {
+	case "compiled":
+		return ExecCompiled, nil
 	case "fused":
 		return ExecFused, nil
 	case "precise":
 		return ExecPrecise, nil
 	default:
-		return ExecFused, fmt.Errorf("unknown exec mode %q (valid: fused, precise)", s)
+		return ExecCompiled, fmt.Errorf("unknown exec mode %q (valid: compiled, fused, precise)", s)
 	}
 }
 
@@ -197,6 +210,7 @@ func buildLoop(dec []decoded, head, end int) *loopInfo {
 // It returns the next pc.
 func (c *Core) runALUBlock(pc, n int, limit sim.Time) int {
 	period := c.cfg.Clock.Period
+	whole := n
 	if rem := c.maxInsts - c.stats.Instructions; int64(n) > rem {
 		n = int(rem)
 	}
@@ -206,7 +220,20 @@ func (c *Core) runALUBlock(pc, n int, limit sim.Time) int {
 	if c.at+sim.Time(n-1)*period > limit {
 		n = int(int64((limit-c.at)/period)) + 1
 	}
-	execALUBlock(&c.regs, c.dec[pc:pc+n])
+	if cp := c.comp; cp != nil {
+		// Compiled mode: the whole run is one pre-composed closure; a run
+		// clamped by the quantum or instruction budget sweeps the
+		// per-instruction closures instead.
+		if n == whole && cp.blocks[pc] != nil {
+			cp.blocks[pc](&c.regs)
+		} else {
+			for _, f := range cp.alu[pc : pc+n] {
+				f(&c.regs)
+			}
+		}
+	} else {
+		execALUBlock(&c.regs, c.dec[pc:pc+n])
+	}
 	nt := sim.Time(n) * period
 	c.at += nt
 	c.stats.BusyTime += nt
@@ -335,6 +362,14 @@ func (c *Core) runLoop(li *loopInfo, limit sim.Time) loopExit {
 	dec := c.dec
 	aluRun := c.aluRun
 	progress := false
+	// Compiled mode replaces the per-instruction switch below with the
+	// loop body's threaded code (one pre-specialized closure per
+	// instruction; see compiled.go). Exit conditions and accounting are
+	// identical by construction.
+	var body []bodyFn
+	if cp := c.comp; cp != nil {
+		body = cp.bodies[li.head]
+	}
 
 	// Pure-ALU loops with a free back-edge have identical iterations: batch
 	// every full iteration that fits the quantum and instruction budget in
@@ -349,10 +384,14 @@ func (c *Core) runLoop(li *loopInfo, limit sim.Time) loopExit {
 			m = rem
 		}
 		if m > 0 {
-			block := dec[li.head:li.end]
-			regs := &c.regs
-			for it := int64(0); it < m; it++ {
-				execALUBlock(regs, block)
+			if cp := c.comp; cp != nil {
+				cp.kernels[li.head](&c.regs, m)
+			} else {
+				block := dec[li.head:li.end]
+				regs := &c.regs
+				for it := int64(0); it < m; it++ {
+					execALUBlock(regs, block)
+				}
 			}
 			nt := sim.Time(n*m) * period
 			c.at += nt
@@ -385,6 +424,34 @@ iterations:
 			if c.at > limit {
 				c.pc = vpc
 				return loopProgress
+			}
+			if body != nil {
+				// nv is where execution stopped: past the chain on a clean
+				// fall-through, at the blocked instruction on a block.
+				nv, s := body[vpc-li.head](c, vpc, limit)
+				switch s {
+				case ctlNext:
+				case ctlBlockedStream:
+					c.blockKind = StallStreamWait
+					c.pc = nv
+					return loopBlockedExit
+				case ctlBlockedOut:
+					c.blockKind = StallOutFull
+					c.pc = nv
+					return loopBlockedExit
+				default: // ctlHalted: pc and halt state set by the closure
+					return loopHaltedExit
+				}
+				vpc = nv
+				progress = true
+				if vpc == li.head {
+					continue iterations
+				}
+				if vpc < li.head || vpc > li.end {
+					c.pc = vpc // a forward branch left the body
+					return loopProgress
+				}
+				continue
 			}
 			in := &dec[vpc]
 			t0 := c.at

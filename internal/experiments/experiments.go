@@ -46,7 +46,7 @@ type Config struct {
 	// identical either way (see internal/runpool).
 	Workers int
 	// Exec selects the core interpreter strategy for every run (default
-	// cpu.ExecFused; results are identical across modes).
+	// cpu.ExecCompiled; results are identical across modes).
 	Exec cpu.ExecMode `json:"exec,omitempty"`
 	// Telemetry, when non-nil, is handed to every SSD an experiment
 	// builds. The sink is not goroutine-safe, so callers must keep
@@ -134,8 +134,8 @@ type runOpts struct {
 	// windowPages overrides the per-slot input window depth (0 = arch
 	// default). Single-stream workloads may use the whole ISB capacity.
 	windowPages int
-	// exec selects the interpreter strategy (default cpu.ExecFused); the
-	// equivalence soak runs both modes and demands identical results.
+	// exec selects the interpreter strategy (default cpu.ExecCompiled);
+	// the equivalence soak runs every mode and demands identical results.
 	exec cpu.ExecMode
 	// coreQuantum overrides the per-core scheduler quantum (0 = default).
 	coreQuantum sim.Time

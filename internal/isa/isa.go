@@ -182,6 +182,16 @@ func (o Op) Class() Class {
 // Valid reports whether o is a defined operation.
 func (o Op) Valid() bool { return o > OpInvalid && o < opCount }
 
+// Ops returns every defined operation in encoding order — the domain for
+// program generators (fuzzers, random testers) that need to draw valid ops.
+func Ops() []Op {
+	ops := make([]Op, 0, opCount-1)
+	for o := OpInvalid + 1; o < opCount; o++ {
+		ops = append(ops, o)
+	}
+	return ops
+}
+
 // IsStream reports whether o belongs to the ASSASIN stream extension.
 func (o Op) IsStream() bool {
 	switch o.Class() {

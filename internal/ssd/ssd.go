@@ -117,10 +117,11 @@ type Options struct {
 	WindowPages int
 	// OutWindowPages sizes the per-slot output window.
 	OutWindowPages int
-	// Exec selects the core interpreter strategy: cpu.ExecFused (default)
-	// runs basic blocks and recognized stream loops as macro-steps with
-	// byte-identical results; cpu.ExecPrecise forces per-instruction
-	// stepping for debugging.
+	// Exec selects the core interpreter strategy: cpu.ExecCompiled
+	// (default) translates programs to threaded code at load time,
+	// cpu.ExecFused runs basic blocks and recognized stream loops as
+	// macro-steps, cpu.ExecPrecise forces per-instruction stepping for
+	// debugging. All three produce byte-identical results.
 	Exec cpu.ExecMode
 	// CoreQuantum, when > 0, gives compute cores a private scheduler run
 	// quantum in place of the global default (1 µs). Larger quanta reduce

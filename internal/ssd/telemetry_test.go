@@ -146,58 +146,84 @@ func TestTelemetryGoldenChromeTrace(t *testing.T) {
 }
 
 // TestTelemetryFusedPreciseReconcile checks that the fused macro-execution
-// engine and the precise interpreter emit identical traces: the fused
-// engine's invariant (every Run call returns at the same local-time
-// boundary) means span boundaries, instants, and metrics all agree at
-// dispatch-slice granularity.
+// engine, the compiled threaded-code engine and the precise interpreter all
+// emit identical traces: the fast engines' invariant (every Run call
+// returns at the same local-time boundary) means span boundaries, instants,
+// and metrics all agree at dispatch-slice granularity.
 func TestTelemetryFusedPreciseReconcile(t *testing.T) {
-	telF := telemetry.NewSink()
 	telP := telemetry.NewSink()
-	runStatTelemetry(t, telF, cpu.ExecFused)
 	runStatTelemetry(t, telP, cpu.ExecPrecise)
-
-	evF, evP := telF.Events(), telP.Events()
-	if len(evF) == 0 {
-		t.Fatal("fused run recorded no events")
-	}
-	if len(evF) != len(evP) {
-		t.Fatalf("event count mismatch: fused %d, precise %d", len(evF), len(evP))
-	}
-	for i := range evF {
-		f, err := json.Marshal(evF[i])
-		if err != nil {
-			t.Fatal(err)
-		}
-		p, err := json.Marshal(evP[i])
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(f, p) {
-			t.Fatalf("event %d diverges:\n  fused:   %s\n  precise: %s", i, f, p)
-		}
-	}
-
-	// The "exec" spans specifically must exist and reconcile — they are the
-	// per-dispatch compute record both engines emit.
-	var execSpans int
-	for _, e := range evF {
-		if e.Name == "exec" {
-			execSpans++
-		}
-	}
-	if execSpans == 0 {
-		t.Fatal("no exec spans recorded")
-	}
-
-	// Metrics agree too (instruction-level counters are mode-independent).
-	var bufF, bufP bytes.Buffer
-	if err := telF.WriteMetricsJSON(&bufF); err != nil {
-		t.Fatal(err)
-	}
+	evP := telP.Events()
+	var bufP bytes.Buffer
 	if err := telP.WriteMetricsJSON(&bufP); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(bufF.Bytes(), bufP.Bytes()) {
-		t.Error("metrics snapshots diverge between fused and precise modes")
+
+	for _, mode := range []cpu.ExecMode{cpu.ExecFused, cpu.ExecCompiled} {
+		telF := telemetry.NewSink()
+		runStatTelemetry(t, telF, mode)
+
+		evF := telF.Events()
+		if len(evF) == 0 {
+			t.Fatalf("%v run recorded no events", mode)
+		}
+		if len(evF) != len(evP) {
+			t.Fatalf("event count mismatch: %v %d, precise %d", mode, len(evF), len(evP))
+		}
+		for i := range evF {
+			f, err := json.Marshal(evF[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := json.Marshal(evP[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(f, p) {
+				t.Fatalf("event %d diverges:\n  %v: %s\n  precise: %s", i, mode, f, p)
+			}
+		}
+
+		// The "exec" spans specifically must exist and reconcile — they are
+		// the per-dispatch compute record every engine emits.
+		var execSpans int
+		for _, e := range evF {
+			if e.Name == "exec" {
+				execSpans++
+			}
+		}
+		if execSpans == 0 {
+			t.Fatalf("%v run recorded no exec spans", mode)
+		}
+
+		// Metrics agree too (instruction-level counters are mode-independent).
+		var bufF bytes.Buffer
+		if err := telF.WriteMetricsJSON(&bufF); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bufF.Bytes(), bufP.Bytes()) {
+			t.Errorf("metrics snapshots diverge between %v and precise modes", mode)
+		}
+	}
+}
+
+// TestTelemetryCompiledMatchesGoldenTrace pins the compiled engine's Chrome
+// trace to the same golden the fused engine produces: the translation
+// changes how instructions execute, not when, so the exported trace must be
+// byte-identical.
+func TestTelemetryCompiledMatchesGoldenTrace(t *testing.T) {
+	tel := telemetry.NewSink()
+	runStatTelemetry(t, tel, cpu.ExecCompiled)
+
+	var buf bytes.Buffer
+	if err := tel.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("compiled trace deviates from the fused golden (%d vs %d bytes)", buf.Len(), len(want))
 	}
 }
