@@ -1,6 +1,6 @@
 # Convenience entry points; every target is plain go tooling underneath.
 
-.PHONY: all build test race fuzz-smoke bench bench-baseline bench-compare diff-smoke ci
+.PHONY: all build test race fuzz-smoke bench bench-baseline bench-compare diff-smoke alloc-gate profile ci
 
 all: test
 
@@ -13,12 +13,13 @@ test: build
 # The data-race gate for the packages the interpreters touch, the
 # telemetry sink (documented single-threaded; the race gate catches
 # accidental sharing from tests), and the observability layer that serves
-# concurrent scrapers against a running simulation. The cpu equivalence
-# soak (internal/experiments) also runs here: any Precise/Fused/Compiled
-# divergence is a release blocker.
+# concurrent scrapers against a running simulation. The cpu and data-plane
+# equivalence soaks (internal/experiments) also run here: any
+# Precise/Fused/Compiled or coalesced/per-page divergence is a release
+# blocker.
 race:
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
-	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum'
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane'
 
 # A short bounded differential-fuzz pass over the three execution engines;
 # the checked-in corpus under internal/cpu/testdata/fuzz seeds it with
@@ -31,14 +32,25 @@ fuzz-smoke:
 diff-smoke:
 	scripts/diff-smoke.sh
 
+# Zero-alloc regression gate: the event-queue and crossbar hot paths must
+# report 0 allocs/op and the firmware steady-state guard must pass.
+alloc-gate:
+	scripts/alloc-gate.sh
+
+# Per-experiment CPU/allocation profiles with top-10 cumulative tables
+# (profiles land in profiles/).
+profile:
+	scripts/profile.sh
+
 # The full continuous-integration gate (mirrored by the GitHub workflow).
 ci:
 	go vet ./...
 	go build ./...
 	go test ./...
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
-	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum'
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane'
 	go test ./internal/cpu/ -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 10s
+	scripts/alloc-gate.sh
 	scripts/serve-smoke.sh
 	scripts/diff-smoke.sh
 

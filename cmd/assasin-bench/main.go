@@ -28,6 +28,7 @@ import (
 
 	"assasin/internal/cpu"
 	"assasin/internal/experiments"
+	"assasin/internal/firmware"
 	"assasin/internal/obs"
 	"assasin/internal/profiling"
 	"assasin/internal/runpool"
@@ -51,6 +52,7 @@ func main() {
 		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
 		parallel = flag.Int("parallel", runpool.DefaultWorkers(), "max concurrent simulation runs (1 = sequential; results are identical)")
 		execMode = flag.String("exec", "compiled", "interpreter strategy: compiled (threaded code, default), fused, or precise (results are identical)")
+		plane    = flag.String("dataplane", "coalesced", "firmware delivery event structure: coalesced (default) or perpage (results are identical)")
 		jsonDir  = flag.String("json", "", "directory to write BENCH_<exp>.json result files into")
 		tracePth = flag.String("trace", "", "write a Chrome trace_event JSON file (open in Perfetto; forces -parallel 1)")
 		metrPth  = flag.String("metrics", "", "write a flat telemetry metrics JSON file (parallel-safe: per-run sinks merged at run boundaries)")
@@ -103,6 +105,11 @@ func main() {
 		fatal(err)
 	}
 	cfg.Exec = mode
+	planeMode, err := firmware.ParsePlaneMode(*plane)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.DataPlane = planeMode
 
 	if *tlIvalUs <= 0 {
 		fatal(fmt.Errorf("-timeline-interval-us must be > 0, got %g", *tlIvalUs))

@@ -86,6 +86,7 @@ func AblationDRAM(cfg Config) ([]AblationDRAMRow, error) {
 			Cores:     cfg.Cores,
 			DRAM:      memhier.DRAMConfig{BandwidthBytesPerSec: bw, Latency: 60 * sim.Nanosecond},
 			Exec:      cfg.Exec,
+			DataPlane: cfg.DataPlane,
 			Telemetry: cfg.Telemetry,
 			Log:       cfg.Log,
 		})
@@ -154,7 +155,7 @@ func MixedIO(cfg Config) (*MixedIOResult, error) {
 			cfg.Telemetry.StartRun(label)
 		}
 		s := ssd.New(ssd.Options{Arch: ssd.AssasinSb, Cores: cfg.Cores,
-			Exec: cfg.Exec, Telemetry: cfg.Telemetry, Log: cfg.Log})
+			Exec: cfg.Exec, DataPlane: cfg.DataPlane, Telemetry: cfg.Telemetry, Log: cfg.Log})
 		data := randData(int(cfg.ScanMB*(1<<20)), 33)
 		lpas, err := s.InstallBytes(data)
 		if err != nil {

@@ -48,6 +48,10 @@ type Config struct {
 	// Exec selects the core interpreter strategy for every run (default
 	// cpu.ExecCompiled; results are identical across modes).
 	Exec cpu.ExecMode `json:"exec,omitempty"`
+	// DataPlane selects the firmware delivery event structure for every
+	// run (default firmware.PlaneCoalesced; results are identical across
+	// modes — the soak in dataplane_equiv_test.go enforces it).
+	DataPlane firmware.PlaneMode `json:"dataplane,omitempty"`
 	// Telemetry, when non-nil, is handed to every SSD an experiment
 	// builds. The sink is not goroutine-safe, so callers must keep
 	// Workers <= 1 when setting it — unless PerRunTelemetry is also set,
@@ -137,6 +141,10 @@ type runOpts struct {
 	// exec selects the interpreter strategy (default cpu.ExecCompiled);
 	// the equivalence soak runs every mode and demands identical results.
 	exec cpu.ExecMode
+	// plane selects the firmware delivery event structure (default
+	// coalesced); the data-plane soak runs both and demands identical
+	// results.
+	plane firmware.PlaneMode
 	// coreQuantum overrides the per-core scheduler quantum (0 = default).
 	coreQuantum sim.Time
 	// telemetry, when non-nil, instruments the run's SSD; runStandalone
@@ -158,6 +166,7 @@ type runOpts struct {
 // instrument copies the Config-level observability hooks into the run
 // options so every runStandalone call site stays a one-liner.
 func (c Config) instrument(o runOpts) runOpts {
+	o.plane = c.DataPlane
 	o.telemetry = c.Telemetry
 	o.perRunTel = c.PerRunTelemetry
 	o.timeline = c.Timeline
@@ -206,6 +215,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 		TimingAdjusted: o.adjusted,
 		WindowPages:    o.windowPages,
 		Exec:           o.exec,
+		DataPlane:      o.plane,
 		CoreQuantum:    o.coreQuantum,
 		Telemetry:      tel,
 		Timeline:       sampler,

@@ -195,6 +195,7 @@ func Fig19(cfg Config) ([]Fig19Point, error) {
 				ChannelLocal: channelLocal,
 				Layout:       ftl.SkewedPolicy{Skew: skew},
 				Exec:         cfg.Exec,
+				DataPlane:    cfg.DataPlane,
 				Telemetry:    cfg.Telemetry,
 				Log:          cfg.Log,
 			})

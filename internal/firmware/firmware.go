@@ -90,12 +90,59 @@ type Task struct {
 	Outputs []OutTarget
 }
 
+// PlaneMode selects how the firmware turns transferred pages into stream
+// pushes: one queue event per page (the reference structure), or a
+// coalesced delivery train that absorbs consecutive unconstrained
+// deliveries into a single dispatch. Both produce byte-identical timing,
+// results, and telemetry — the per-page mode exists as the equivalence
+// oracle for the coalesced default.
+type PlaneMode int
+
+// Data-plane modes. The zero value is the coalesced fast path so that
+// default-constructed options get the production configuration, mirroring
+// cpu.ExecCompiled.
+const (
+	// PlaneCoalesced batches consecutive page deliveries of one feeder
+	// into a single event dispatch whenever nothing else in the event
+	// queue would have fired between them (see feeder.train).
+	PlaneCoalesced PlaneMode = iota
+	// PlanePerPage schedules one delivery event per page, exactly the
+	// structure the per-page reference implementation used.
+	PlanePerPage
+)
+
+// String implements fmt.Stringer.
+func (m PlaneMode) String() string {
+	switch m {
+	case PlaneCoalesced:
+		return "coalesced"
+	case PlanePerPage:
+		return "perpage"
+	default:
+		return fmt.Sprintf("PlaneMode(%d)", int(m))
+	}
+}
+
+// ParsePlaneMode converts a -dataplane flag value.
+func ParsePlaneMode(s string) (PlaneMode, error) {
+	switch s {
+	case "", "coalesced":
+		return PlaneCoalesced, nil
+	case "perpage", "per-page":
+		return PlanePerPage, nil
+	default:
+		return 0, fmt.Errorf("firmware: unknown data-plane mode %q (want coalesced or perpage)", s)
+	}
+}
+
 // Config sets the engine's data-path behaviour.
 type Config struct {
 	PageSize int
 	Path     DataPath
 	// MaxSenses bounds outstanding array reads per stream feeder.
 	MaxSenses int
+	// Plane selects the delivery event structure (default PlaneCoalesced).
+	Plane PlaneMode
 }
 
 // Tel is the firmware telemetry bundle: data-plane volume counters, task
@@ -201,6 +248,14 @@ func (e *Engine) Submit(tasks []Task) error {
 			if e.Tel != nil {
 				fd.track = e.Tel.sink.Track(fmt.Sprintf("fw/core%d/in%d", t.CoreID, si))
 			}
+			// Bind the event callbacks once: the steady-state page flow
+			// reschedules these same funcs instead of allocating closures.
+			fd.pumpFn = func(now sim.Time) {
+				fd.pumping = false
+				fd.pump(now)
+			}
+			fd.deliverFn = fd.deliverNext
+			fd.trainFn = fd.train
 			e.feeders = append(e.feeders, fd)
 			e.liveFeeders++
 			stream := fd.stream
@@ -221,6 +276,10 @@ func (e *Engine) Submit(tasks []Task) error {
 			}
 			if e.Tel != nil {
 				dr.track = e.Tel.sink.Track(fmt.Sprintf("fw/core%d/out%d", t.CoreID, si))
+			}
+			dr.pumpFn = func(now sim.Time) {
+				dr.pumping = false
+				dr.pump(now)
 			}
 			e.drainers = append(e.drainers, dr)
 			e.liveDrains++
@@ -294,7 +353,7 @@ func (e *Engine) Collected(coreID, slot int) []byte {
 
 // sensedPage is a page whose tR sense completed, waiting for bus transfer.
 type sensedPage struct {
-	data       []byte // already trimmed to the stream window
+	data       []byte // aliases the flash array's stored page, trimmed to the window
 	channel    int
 	senseStart sim.Time // when the sense was issued (trace span start)
 	senseDone  sim.Time
@@ -302,7 +361,22 @@ type sensedPage struct {
 	rawSize    int // bus occupancy (full page)
 }
 
-// feeder streams one StreamSpec into one input stream buffer.
+// delivery is a transferred page waiting for its availability instant, when
+// it is pushed into the input stream. In per-page mode each delivery has its
+// own queue event; in coalesced mode the feeder keeps one armed "train"
+// event carrying the whole FIFO, with every entry retaining the (avail, seq)
+// sort key the per-page event would have had.
+type delivery struct {
+	data  []byte
+	avail sim.Time
+	seq   int64 // reserved event-queue rank (coalesced mode)
+	last  bool
+}
+
+// feeder streams one StreamSpec into one input stream buffer. Its sensed
+// and pending queues are ring-style FIFOs over reused backing arrays, and
+// its event callbacks are bound once at Submit, so the steady-state page
+// flow allocates nothing.
 type feeder struct {
 	e      *Engine
 	core   *cpu.Core
@@ -310,25 +384,64 @@ type feeder struct {
 	stream *memhier.InStream
 	spec   StreamSpec
 
-	nextPage  int
-	sensed    []sensedPage
-	claimed   int
-	pumping   bool
-	closed    bool
-	lastAvail sim.Time         // enforces in-order delivery across channels
-	track     *telemetry.Track // per-feeder page spans; nil when disabled
+	nextPage   int
+	sensed     []sensedPage
+	sensedHead int
+	pending    []delivery
+	pendHead   int
+	claimed    int
+	pumping    bool
+	armed      bool // coalesced: a train event is queued
+	closed     bool
+	lastAvail  sim.Time         // enforces in-order delivery across channels
+	track      *telemetry.Track // per-feeder page spans; nil when disabled
+
+	pumpFn    func(now sim.Time) // clears pumping, runs pump
+	deliverFn func(now sim.Time) // per-page: deliver the pending head
+	trainFn   func(now sim.Time) // coalesced: run the delivery train
 }
 
-// schedulePump queues a pump event if none is pending.
+func (f *feeder) sensedLen() int { return len(f.sensed) - f.sensedHead }
+
+func (f *feeder) sensedPop() sensedPage {
+	pg := f.sensed[f.sensedHead]
+	f.sensed[f.sensedHead] = sensedPage{}
+	f.sensedHead++
+	if f.sensedHead == len(f.sensed) {
+		f.sensed = f.sensed[:0]
+		f.sensedHead = 0
+	}
+	return pg
+}
+
+func (f *feeder) pendingLen() int { return len(f.pending) - f.pendHead }
+
+func (f *feeder) pendingPop() delivery {
+	d := f.pending[f.pendHead]
+	f.pending[f.pendHead] = delivery{}
+	f.pendHead++
+	if f.pendHead == len(f.pending) {
+		f.pending = f.pending[:0]
+		f.pendHead = 0
+	}
+	return d
+}
+
+// schedulePump queues a pump event if none is pending and a pump could
+// still do work. Once every page has been sensed and transferred the feeder
+// is permanently out of pump work — only pending deliveries remain — so the
+// per-consumed-word OnFree pings during the drain tail schedule nothing.
+// (A pump in that state is a pure no-op at any time, so suppressing it
+// cannot change timing; the empty-LPA degenerate still pumps once to close.)
 func (f *feeder) schedulePump() {
 	if f.pumping || f.closed {
 		return
 	}
+	if f.nextPage >= len(f.spec.LPAs) && f.sensedLen() == 0 && len(f.spec.LPAs) > 0 {
+		return
+	}
 	f.pumping = true
-	f.e.sched.Events.Schedule(f.e.sched.Events.Now(), func(now sim.Time) {
-		f.pumping = false
-		f.pump(now)
-	})
+	f.e.sched.Events.Schedule(f.e.sched.Events.Now(), f.pumpFn)
 }
 
 // trimForPage returns the slice of page data inside the stream window and
@@ -361,11 +474,11 @@ func (f *feeder) pump(now sim.Time) {
 	}
 	if debugFeeder {
 		fmt.Printf("pump t=%v next=%d sensed=%d claimed=%d buffered=%d head=%d tail=%d\n",
-			now, f.nextPage, len(f.sensed), f.claimed, f.stream.Buffered(), f.stream.Head(), f.stream.Tail())
+			now, f.nextPage, f.sensedLen(), f.claimed, f.stream.Buffered(), f.stream.Head(), f.stream.Tail())
 	}
 	arr := f.e.ftl.Array()
 	// Phase 1: issue array senses ahead.
-	for f.nextPage < len(f.spec.LPAs) && len(f.sensed) < f.e.cfg.MaxSenses {
+	for f.nextPage < len(f.spec.LPAs) && f.sensedLen() < f.e.cfg.MaxSenses {
 		lpa := f.spec.LPAs[f.nextPage]
 		ppa, ok := f.e.ftl.Lookup(lpa)
 		if !ok {
@@ -389,12 +502,13 @@ func (f *feeder) pump(now sim.Time) {
 		})
 	}
 	// Phase 2: transfer sensed pages while window space allows.
-	for len(f.sensed) > 0 {
-		pg := f.sensed[0]
+	for f.sensedLen() > 0 {
+		pg := f.sensed[f.sensedHead]
 		if !f.stream.CanPush(f.claimed + len(pg.data)) {
+			f.armTrain()
 			return // wait for OnFree
 		}
-		f.sensed = f.sensed[1:]
+		f.sensedPop()
 		start := sim.MaxT(now, pg.senseDone)
 		txDone, err := arr.Transfer(start, pg.channel, pg.rawSize)
 		if err != nil {
@@ -422,31 +536,18 @@ func (f *feeder) pump(now sim.Time) {
 				pg.senseDone, sim.MaxT(now, pg.senseDone), txDone, avail)
 		}
 		f.claimed += len(pg.data)
-		last := pg.last
-		data := pg.data
-		f.e.sched.Events.Schedule(avail, func(at sim.Time) {
-			f.claimed -= len(data)
-			if len(data) > 0 {
-				if err := f.stream.Push(data, at); err != nil {
-					f.e.fail(err)
-					return
-				}
-			}
-			if last {
-				f.stream.Close()
-				f.closed = true
-				f.e.liveFeeders--
-				f.e.noteProgress(at)
-				if f.track != nil {
-					f.track.Instant("eos", int64(at))
-				}
-				f.core.Wake(at)
-				f.e.sched.Wake(f.core, at)
-			} else {
-				f.schedulePump()
-			}
-		})
+		if f.e.cfg.Plane == PlanePerPage {
+			f.pending = append(f.pending, delivery{data: pg.data, avail: avail, last: pg.last})
+			f.e.sched.Events.Schedule(avail, f.deliverFn)
+		} else {
+			// Reserve the event-queue rank the per-page schedule would
+			// have claimed here, so the train's deliveries keep the exact
+			// global (At, seq) dispatch order.
+			seq := f.e.sched.Events.ReserveSeq()
+			f.pending = append(f.pending, delivery{data: pg.data, avail: avail, seq: seq, last: pg.last})
+		}
 	}
+	f.armTrain()
 	// Degenerate empty stream: close immediately.
 	if len(f.spec.LPAs) == 0 && !f.closed {
 		f.stream.Close()
@@ -457,6 +558,88 @@ func (f *feeder) pump(now sim.Time) {
 		}
 		f.core.Wake(now)
 		f.e.sched.Wake(f.core, now)
+	}
+}
+
+// armTrain makes sure a coalesced-mode train event is queued at the pending
+// head's reserved (avail, seq) slot. No-op in per-page mode or when the
+// train is already armed or there is nothing pending.
+func (f *feeder) armTrain() {
+	if f.e.cfg.Plane == PlanePerPage || f.armed || f.pendingLen() == 0 {
+		return
+	}
+	d := f.pending[f.pendHead]
+	f.armed = true
+	f.e.sched.Events.ScheduleSeq(d.avail, d.seq, f.trainFn)
+}
+
+// train is the coalesced delivery loop: it fires as the pending head's own
+// event (same time, same FIFO rank as the per-page event would have had) and
+// then keeps delivering subsequent pending pages inline as long as each one
+// is exactly what the event queue would dispatch next — no other event
+// sorts before it and it lies within the current dispatch horizon. At the
+// first contention boundary (an interleaved pump or another feeder's event,
+// or an availability past the horizon) it re-arms at the blocked page's
+// reserved slot and yields.
+func (f *feeder) train(now sim.Time) {
+	f.armed = false
+	if f.e.err != nil {
+		return
+	}
+	q := &f.e.sched.Events
+	first := true
+	for f.pendingLen() > 0 {
+		d := f.pending[f.pendHead]
+		if !first {
+			nt, ns := q.PeekNext()
+			if d.avail > q.Horizon() || nt < d.avail || (nt == d.avail && ns < d.seq) {
+				f.armed = true
+				q.ScheduleSeq(d.avail, d.seq, f.trainFn)
+				return
+			}
+			// This delivery is the queue's next dispatch: absorb it here,
+			// advancing the clock exactly as its own event would have.
+			q.AdvanceTo(d.avail)
+			now = d.avail
+		}
+		first = false
+		f.pendingPop()
+		f.doDeliver(now, d)
+		if f.e.err != nil || f.closed {
+			return
+		}
+	}
+}
+
+// deliverNext is the per-page delivery event body: pages deliver strictly
+// in FIFO order (availability is monotone and ties break by schedule
+// order), so the fired event always corresponds to the pending head.
+func (f *feeder) deliverNext(at sim.Time) {
+	f.doDeliver(at, f.pendingPop())
+}
+
+// doDeliver pushes one transferred page into the stream at its availability
+// instant and handles end-of-stream.
+func (f *feeder) doDeliver(at sim.Time, d delivery) {
+	f.claimed -= len(d.data)
+	if len(d.data) > 0 {
+		if err := f.stream.Push(d.data, at); err != nil {
+			f.e.fail(err)
+			return
+		}
+	}
+	if d.last {
+		f.stream.Close()
+		f.closed = true
+		f.e.liveFeeders--
+		f.e.noteProgress(at)
+		if f.track != nil {
+			f.track.Instant("eos", int64(at))
+		}
+		f.core.Wake(at)
+		f.e.sched.Wake(f.core, at)
+	} else {
+		f.schedulePump()
 	}
 }
 
@@ -493,6 +676,8 @@ type drainer struct {
 	coreHalted bool
 	finished   bool
 	track      *telemetry.Track // per-drainer spans; nil when disabled
+
+	pumpFn func(now sim.Time) // bound once at Submit
 }
 
 func (d *drainer) schedulePump() {
@@ -500,10 +685,7 @@ func (d *drainer) schedulePump() {
 		return
 	}
 	d.pumping = true
-	d.e.sched.Events.Schedule(d.e.sched.Events.Now(), func(now sim.Time) {
-		d.pumping = false
-		d.pump(now)
-	})
+	d.e.sched.Events.Schedule(d.e.sched.Events.Now(), d.pumpFn)
 }
 
 func (d *drainer) pump(now sim.Time) {

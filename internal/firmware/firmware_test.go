@@ -22,7 +22,7 @@ type rig struct {
 	sys   *memhier.System
 }
 
-func newRig(t *testing.T) *rig {
+func newRig(t testing.TB) *rig {
 	t.Helper()
 	cfg := flash.DefaultConfig()
 	cfg.Channels = 2
@@ -46,7 +46,7 @@ func newRig(t *testing.T) *rig {
 	return &rig{sched: sim.NewScheduler(), f: f, dram: dram, core: core, sys: sys}
 }
 
-func (r *rig) install(t *testing.T, data []byte) []int {
+func (r *rig) install(t testing.TB, data []byte) []int {
 	t.Helper()
 	ps := r.f.Array().Config().PageSize
 	var lpas []int

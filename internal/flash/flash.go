@@ -65,16 +65,52 @@ const (
 	pageWritten
 )
 
+// blockStore holds one erase block's page contents and programming state.
+// Blocks materialize independently, so the per-run footprint of a chip is
+// proportional to the blocks it actually touches, not its geometry.
+type blockStore struct {
+	// nextPage is the next programmable page index (NAND requires in-order
+	// programming within an erase block).
+	nextPage int
+	erases   int64
+	states   []pageState // pagesPerBlock entries
+	data     [][]byte    // pagesPerBlock entries
+}
+
 type chip struct {
 	nextFree sim.Time
-	// nextPage[block] is the next programmable page index (NAND requires
-	// in-order programming within an erase block).
-	nextPage []int
-	states   []pageState // block*pagesPerBlock + page
-	data     [][]byte
-	reads    int64
-	writes   int64
-	erases   []int64 // per block erase count, for wear-leveling tests
+	// blocks[block] is nil until that block is first programmed or erased:
+	// a nil entry reads as "everything erased, counts zero", so building an
+	// Array — or streaming a dataset over a few blocks of a few chips —
+	// touches no per-page state outside those blocks.
+	blocks []*blockStore
+	reads  int64
+	writes int64
+}
+
+// block reads a block's store through the lazy array (nil = untouched).
+func (ch *chip) block(b int) *blockStore {
+	if ch.blocks == nil {
+		return nil
+	}
+	return ch.blocks[b]
+}
+
+// state reads a page's programming state through the lazy arrays.
+func (ch *chip) state(block, page int) pageState {
+	if bs := ch.block(block); bs != nil {
+		return bs.states[page]
+	}
+	return pageErased
+}
+
+// nextProgPage reads a block's next programmable page through the lazy
+// arrays.
+func (ch *chip) nextProgPage(block int) int {
+	if bs := ch.block(block); bs != nil {
+		return bs.nextPage
+	}
+	return 0
 }
 
 // Array is the flash array: timing and functional content.
@@ -109,11 +145,24 @@ type Array struct {
 	channels []*sim.BandwidthServer
 	chips    [][]*chip
 
+	// erased is the shared all-0xFF page returned by Sense for erased
+	// pages; like written pages, it is handed out by reference and must not
+	// be mutated by callers (see Sense).
+	erased []byte
+	// arena backs stored page copies (Write/InstallPage) in pointer-free
+	// chunks so the GC never scans per-page allocations. Chunks grow
+	// geometrically so small datasets never pay for a large chunk's zeroing.
+	arena      []byte
+	arenaOff   int
+	arenaPages int
+
 	// Tel, when non-nil, counts senses/transfers/programs/erases.
 	Tel *Tel
 }
 
-// New returns an erased array.
+// New returns an erased array. Construction is O(channels × chips): all
+// per-page state is materialized lazily on first program/erase, so building
+// a large array for a small experiment costs almost nothing.
 func New(cfg Config) *Array {
 	a := &Array{cfg: cfg}
 	a.channels = make([]*sim.BandwidthServer, cfg.Channels)
@@ -122,16 +171,54 @@ func New(cfg Config) *Array {
 		a.channels[c] = sim.NewBandwidthServer(fmt.Sprintf("flash-ch%d", c), cfg.ChannelBandwidth, 0)
 		a.chips[c] = make([]*chip, cfg.ChipsPerChannel)
 		for d := 0; d < cfg.ChipsPerChannel; d++ {
-			n := cfg.BlocksPerChip * cfg.PagesPerBlock
-			a.chips[c][d] = &chip{
-				nextPage: make([]int, cfg.BlocksPerChip),
-				states:   make([]pageState, n),
-				data:     make([][]byte, n),
-				erases:   make([]int64, cfg.BlocksPerChip),
-			}
+			a.chips[c][d] = &chip{}
 		}
 	}
 	return a
+}
+
+// erasedPage returns the shared all-0xFF page image.
+func (a *Array) erasedPage() []byte {
+	if a.erased == nil {
+		a.erased = make([]byte, a.cfg.PageSize)
+		for i := range a.erased {
+			a.erased[i] = 0xFF
+		}
+	}
+	return a.erased
+}
+
+// allocPage carves one page-sized buffer out of the arena.
+func (a *Array) allocPage() []byte {
+	ps := a.cfg.PageSize
+	if a.arenaOff+ps > len(a.arena) {
+		switch {
+		case a.arenaPages == 0:
+			a.arenaPages = 8
+		case a.arenaPages < 128:
+			a.arenaPages *= 2
+		}
+		a.arena = make([]byte, ps*a.arenaPages)
+		a.arenaOff = 0
+	}
+	p := a.arena[a.arenaOff : a.arenaOff+ps : a.arenaOff+ps]
+	a.arenaOff += ps
+	return p
+}
+
+// materialize allocates one block's page arrays on first mutation and
+// returns its store.
+func (a *Array) materialize(ch *chip, block int) *blockStore {
+	if ch.blocks == nil {
+		ch.blocks = make([]*blockStore, a.cfg.BlocksPerChip)
+	}
+	bs := ch.blocks[block]
+	if bs == nil {
+		ppb := a.cfg.PagesPerBlock
+		bs = &blockStore{states: make([]pageState, ppb), data: make([][]byte, ppb)}
+		ch.blocks[block] = bs
+	}
+	return bs
 }
 
 // Config returns the geometry.
@@ -159,13 +246,16 @@ func (a *Array) validate(p PPA) error {
 
 func (a *Array) chipAt(p PPA) *chip { return a.chips[p.Channel][p.Chip] }
 
-func (a *Array) pageIndex(p PPA) int { return p.Block*a.cfg.PagesPerBlock + p.Page }
-
 // Sense performs the array-to-page-register read of one page (the tR
 // phase), occupying the chip. It returns the page contents and the sense
 // completion time; the bus transfer is issued separately with Transfer so
 // the flash controller can gate it on downstream buffer space. Reading an
 // erased page returns all-0xFF data, as real NAND does.
+//
+// The returned slice aliases the array's stored page (or, for erased pages,
+// a shared all-0xFF image) — callers must treat it as read-only. The page
+// pipeline relies on this: page bytes flow flash→crossbar→stream buffer by
+// reference and are only copied once, into the stream ring.
 func (a *Array) Sense(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	if err := a.validate(p); err != nil {
 		return nil, 0, err
@@ -178,13 +268,12 @@ func (a *Array) Sense(at sim.Time, p PPA) ([]byte, sim.Time, error) {
 	if a.Tel != nil {
 		a.Tel.Senses.Inc()
 	}
-	idx := a.pageIndex(p)
-	data := ch.data[idx]
+	var data []byte
+	if bs := ch.block(p.Block); bs != nil {
+		data = bs.data[p.Page]
+	}
 	if data == nil {
-		data = make([]byte, a.cfg.PageSize)
-		for i := range data {
-			data[i] = 0xFF
-		}
+		data = a.erasedPage()
 	}
 	return data, senseDone, nil
 }
@@ -232,12 +321,11 @@ func (a *Array) Write(at sim.Time, p PPA, data []byte) (busDone, progDone sim.Ti
 		return 0, 0, fmt.Errorf("flash: write of %d bytes exceeds page size %d", len(data), a.cfg.PageSize)
 	}
 	ch := a.chipAt(p)
-	idx := a.pageIndex(p)
-	if ch.states[idx] != pageErased {
+	if ch.state(p.Block, p.Page) != pageErased {
 		return 0, 0, fmt.Errorf("flash: program of non-erased page %v", p)
 	}
-	if ch.nextPage[p.Block] != p.Page {
-		return 0, 0, fmt.Errorf("flash: out-of-order program %v (next programmable page is %d)", p, ch.nextPage[p.Block])
+	if ch.nextProgPage(p.Block) != p.Page {
+		return 0, 0, fmt.Errorf("flash: out-of-order program %v (next programmable page is %d)", p, ch.nextProgPage(p.Block))
 	}
 	busDone = a.channels[p.Channel].Access(at, a.cfg.PageSize)
 	start := sim.MaxT(busDone, ch.nextFree)
@@ -248,11 +336,14 @@ func (a *Array) Write(at sim.Time, p PPA, data []byte) (busDone, progDone sim.Ti
 		a.Tel.Programs.Inc()
 		a.Tel.TransferBytes.Add(int64(a.cfg.PageSize))
 	}
-	stored := make([]byte, a.cfg.PageSize)
+	bs := a.materialize(ch, p.Block)
+	// Arena chunks are fresh zeroed memory and never recycled, so a short
+	// write is zero-padded exactly like the old make+copy.
+	stored := a.allocPage()
 	copy(stored, data)
-	ch.data[idx] = stored
-	ch.states[idx] = pageWritten
-	ch.nextPage[p.Block] = p.Page + 1
+	bs.data[p.Page] = stored
+	bs.states[p.Page] = pageWritten
+	bs.nextPage = p.Page + 1
 	return busDone, progDone, nil
 }
 
@@ -266,13 +357,13 @@ func (a *Array) Erase(at sim.Time, channel, chipIdx, block int) (sim.Time, error
 	start := sim.MaxT(at, ch.nextFree)
 	done := start + a.cfg.EraseLatency
 	ch.nextFree = done
-	base := block * a.cfg.PagesPerBlock
+	bs := a.materialize(ch, block)
 	for i := 0; i < a.cfg.PagesPerBlock; i++ {
-		ch.states[base+i] = pageErased
-		ch.data[base+i] = nil
+		bs.states[i] = pageErased
+		bs.data[i] = nil
 	}
-	ch.nextPage[block] = 0
-	ch.erases[block]++
+	bs.nextPage = 0
+	bs.erases++
 	if a.Tel != nil {
 		a.Tel.Erases.Inc()
 	}
@@ -290,18 +381,18 @@ func (a *Array) InstallPage(p PPA, data []byte) error {
 		return fmt.Errorf("flash: install of %d bytes exceeds page size %d", len(data), a.cfg.PageSize)
 	}
 	ch := a.chipAt(p)
-	idx := a.pageIndex(p)
-	if ch.states[idx] != pageErased {
+	if ch.state(p.Block, p.Page) != pageErased {
 		return fmt.Errorf("flash: install on non-erased page %v", p)
 	}
-	if ch.nextPage[p.Block] != p.Page {
-		return fmt.Errorf("flash: out-of-order install %v (next is %d)", p, ch.nextPage[p.Block])
+	if ch.nextProgPage(p.Block) != p.Page {
+		return fmt.Errorf("flash: out-of-order install %v (next is %d)", p, ch.nextProgPage(p.Block))
 	}
-	stored := make([]byte, a.cfg.PageSize)
+	bs := a.materialize(ch, p.Block)
+	stored := a.allocPage()
 	copy(stored, data)
-	ch.data[idx] = stored
-	ch.states[idx] = pageWritten
-	ch.nextPage[p.Block] = p.Page + 1
+	bs.data[p.Page] = stored
+	bs.states[p.Page] = pageWritten
+	bs.nextPage = p.Page + 1
 	return nil
 }
 
@@ -310,7 +401,11 @@ func (a *Array) PeekPage(p PPA) ([]byte, error) {
 	if err := a.validate(p); err != nil {
 		return nil, err
 	}
-	return a.chipAt(p).data[a.pageIndex(p)], nil
+	bs := a.chipAt(p).block(p.Block)
+	if bs == nil {
+		return nil, nil
+	}
+	return bs.data[p.Page], nil
 }
 
 // IsErased reports whether the page is in the erased state.
@@ -318,12 +413,16 @@ func (a *Array) IsErased(p PPA) bool {
 	if a.validate(p) != nil {
 		return false
 	}
-	return a.chipAt(p).states[a.pageIndex(p)] == pageErased
+	return a.chipAt(p).state(p.Block, p.Page) == pageErased
 }
 
 // EraseCount returns how many times a block has been erased.
 func (a *Array) EraseCount(channel, chipIdx, block int) int64 {
-	return a.chips[channel][chipIdx].erases[block]
+	bs := a.chips[channel][chipIdx].block(block)
+	if bs == nil {
+		return 0
+	}
+	return bs.erases
 }
 
 // ChannelBytes returns the bytes transferred on one channel bus.

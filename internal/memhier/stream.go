@@ -67,6 +67,10 @@ type availSeg struct {
 // window-absolute reads.
 type InStream struct {
 	capBytes int
+	// capMask is capBytes-1 when the capacity is a power of two (the usual
+	// pages×pageSize geometry), letting the per-word gather path replace the
+	// int64 modulo with a mask; 0 selects the modulo fallback.
+	capMask  int
 	pageSize int
 	ring     []byte
 
@@ -90,12 +94,31 @@ type InStream struct {
 }
 
 // NewInStream returns an input stream with a window of pages×pageSize bytes.
+// The ring backing is allocated on first Push: stream slots are recreated
+// per offload request and most requests use a fraction of them, so eager
+// window allocation used to dominate the construction profile.
 func NewInStream(pages, pageSize int) *InStream {
 	if pages <= 0 || pageSize <= 0 {
 		panic("memhier: bad stream window geometry")
 	}
 	cap := pages * pageSize
-	return &InStream{capBytes: cap, pageSize: pageSize, ring: make([]byte, cap)}
+	return &InStream{capBytes: cap, capMask: ringMask(cap), pageSize: pageSize}
+}
+
+// ringMask returns cap-1 for power-of-two capacities, else 0 (modulo path).
+func ringMask(cap int) int {
+	if cap&(cap-1) == 0 {
+		return cap - 1
+	}
+	return 0
+}
+
+// pos maps an absolute stream offset to a ring index.
+func (s *InStream) pos(off int64) int {
+	if s.capMask != 0 {
+		return int(off) & s.capMask
+	}
+	return int(off % int64(s.capBytes))
 }
 
 // WindowBytes returns the window capacity in bytes.
@@ -131,7 +154,10 @@ func (s *InStream) Push(data []byte, availableAt sim.Time) error {
 	if !s.CanPush(len(data)) {
 		return fmt.Errorf("memhier: stream window overflow (%d buffered + %d > %d)", s.Buffered(), len(data), s.capBytes)
 	}
-	pos := int(s.delivered % int64(s.capBytes))
+	if s.ring == nil {
+		s.ring = make([]byte, s.capBytes)
+	}
+	pos := s.pos(s.delivered)
 	n := copy(s.ring[pos:], data)
 	copy(s.ring, data[n:])
 	s.delivered += int64(len(data))
@@ -168,33 +194,28 @@ func (s *InStream) availableAtOffset(off int64) sim.Time {
 }
 
 func (s *InStream) byteAt(off int64) byte {
-	return s.ring[off%int64(s.capBytes)]
+	return s.ring[s.pos(off)]
 }
 
 func (s *InStream) gather(off int64, width int) uint32 {
-	pos := int(off % int64(s.capBytes))
+	pos := s.pos(off)
 	if pos+width <= s.capBytes {
-		// Width-specialized little-endian loads: the compiler fuses each
-		// run of byte ORs into a single load, and StreamLoad traffic is
-		// almost entirely 1/2/4-byte words.
-		r := s.ring[pos:]
+		// Width-specialized little-endian loads over an exact-width
+		// subslice: one bounds check, and the compiler fuses each run of
+		// byte ORs into a single load. StreamLoad traffic is almost
+		// entirely 1/2/4-byte words.
+		r := s.ring[pos : pos+width]
 		switch width {
 		case 4:
-			if len(r) >= 4 {
-				return uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
-			}
+			return uint32(r[0]) | uint32(r[1])<<8 | uint32(r[2])<<16 | uint32(r[3])<<24
 		case 1:
-			if len(r) >= 1 {
-				return uint32(r[0])
-			}
+			return uint32(r[0])
 		case 2:
-			if len(r) >= 2 {
-				return uint32(r[0]) | uint32(r[1])<<8
-			}
+			return uint32(r[0]) | uint32(r[1])<<8
 		}
 		var v uint32
-		for i := 0; i < width; i++ {
-			v |= uint32(s.ring[pos+i]) << (8 * i)
+		for i, b := range r {
+			v |= uint32(b) << (8 * i)
 		}
 		return v
 	}
@@ -239,7 +260,7 @@ func (s *InStream) CopyOut(dst []byte, off int64) int {
 	if n <= 0 {
 		return 0
 	}
-	pos := int(off % int64(s.capBytes))
+	pos := s.pos(off)
 	c := copy(dst[:n], s.ring[pos:])
 	copy(dst[c:n], s.ring)
 	return n
@@ -271,7 +292,10 @@ func (s *InStream) trimAvail() {
 		s.availHead++
 	}
 	if s.availHead > 64 && s.availHead*2 > len(s.avail) {
-		s.avail = append([]availSeg(nil), s.avail[s.availHead:]...)
+		// Compact in place: the live tail never overlaps destructively
+		// (copy moves left), so steady-state consumption allocates nothing.
+		n := copy(s.avail, s.avail[s.availHead:])
+		s.avail = s.avail[:n]
 		s.availHead = 0
 	}
 }
@@ -354,6 +378,7 @@ func (s *InStream) ReadAt(at sim.Time, off int64, width int) (uint32, sim.Time, 
 // drains them page-wise toward the flash array or SSD DRAM.
 type OutStream struct {
 	capBytes int
+	capMask  int // capBytes-1 for power-of-two windows (see InStream.capMask)
 	pageSize int
 	ring     []byte
 
@@ -373,12 +398,21 @@ type OutStream struct {
 }
 
 // NewOutStream returns an output stream with a window of pages×pageSize.
+// Like NewInStream, the ring backing is allocated on the first append.
 func NewOutStream(pages, pageSize int) *OutStream {
 	if pages <= 0 || pageSize <= 0 {
 		panic("memhier: bad stream window geometry")
 	}
 	cap := pages * pageSize
-	return &OutStream{capBytes: cap, pageSize: pageSize, ring: make([]byte, cap)}
+	return &OutStream{capBytes: cap, capMask: ringMask(cap), pageSize: pageSize}
+}
+
+// pos maps an absolute stream offset to a ring index.
+func (s *OutStream) pos(off int64) int {
+	if s.capMask != 0 {
+		return int(off) & s.capMask
+	}
+	return int(off % int64(s.capBytes))
 }
 
 // WindowBytes returns the window capacity.
@@ -408,14 +442,18 @@ func (s *OutStream) Append(v uint32, width int) bool {
 		}
 		return false
 	}
-	pos := int(s.appended % int64(s.capBytes))
+	if s.ring == nil {
+		s.ring = make([]byte, s.capBytes)
+	}
+	pos := s.pos(s.appended)
 	if pos+width <= s.capBytes {
-		for i := 0; i < width; i++ {
-			s.ring[pos+i] = byte(v >> (8 * i))
+		r := s.ring[pos : pos+width]
+		for i := range r {
+			r[i] = byte(v >> (8 * i))
 		}
 	} else {
 		for i := 0; i < width; i++ {
-			s.ring[(s.appended+int64(i))%int64(s.capBytes)] = byte(v >> (8 * i))
+			s.ring[s.pos(s.appended+int64(i))] = byte(v >> (8 * i))
 		}
 	}
 	s.appended += int64(width)
@@ -434,7 +472,10 @@ func (s *OutStream) BulkAppend(data []byte) bool {
 		}
 		return false
 	}
-	pos := int(s.appended % int64(s.capBytes))
+	if s.ring == nil {
+		s.ring = make([]byte, s.capBytes)
+	}
+	pos := s.pos(s.appended)
 	n := copy(s.ring[pos:], data)
 	copy(s.ring, data[n:])
 	s.appended += int64(len(data))
@@ -456,7 +497,7 @@ func (s *OutStream) peekInto(n int) []byte {
 		s.scratch = make([]byte, n)
 	}
 	out := s.scratch[:n]
-	pos := int(s.drained % int64(s.capBytes))
+	pos := s.pos(s.drained)
 	c := copy(out, s.ring[pos:])
 	copy(out[c:], s.ring)
 	return out

@@ -19,6 +19,28 @@ func BenchmarkEventQueue(b *testing.B) {
 	}
 }
 
+// BenchmarkEventQueueMixed measures the queue under the firmware's real mix:
+// mostly schedule-at-now pump events (the O(1) lane), a minority of future
+// transfer completions (the heap), with interleaved dispatch.
+func BenchmarkEventQueueMixed(b *testing.B) {
+	var q EventQueue
+	fn := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			q.Schedule(q.Now()+Time(i%13+1), fn) // future: heap path
+		} else {
+			q.Schedule(q.Now(), fn) // at-now: lane path
+		}
+		if i >= 32 {
+			q.Step()
+		}
+	}
+	for q.Step() {
+	}
+}
+
 // BenchmarkEventQueueScheduleCancel measures the schedule→cancel path used
 // by timeout-style events that usually do not fire.
 func BenchmarkEventQueueScheduleCancel(b *testing.B) {

@@ -1,6 +1,9 @@
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"math"
+)
 
 // Event is a callback scheduled at a point in simulated time.
 //
@@ -13,8 +16,15 @@ type Event struct {
 	Fn func(now Time)
 
 	seq   int64 // tie-breaker: FIFO among simultaneous events
-	index int   // heap index; -1 when not queued
+	index int   // heap index; -2-lanePos when in the now-lane; -1 when not queued
 }
+
+// laneIndex encodes an absolute position in EventQueue.lane into Event.index
+// so a handle can be validated in O(1) without colliding with heap indices.
+func laneIndex(pos int) int { return -2 - pos }
+
+// lanePos inverts laneIndex; valid only when index <= -2.
+func lanePos(index int) int { return -2 - index }
 
 // eventHeap implements container/heap ordered by (At, seq).
 type eventHeap []*Event
@@ -48,49 +58,153 @@ func (h *eventHeap) Pop() any {
 
 // EventQueue is a time-ordered queue of events with FIFO tie-breaking. The
 // zero value is ready to use.
+//
+// Internally it is two-level: events scheduled at the current time — the
+// dominant pattern in the firmware page pipeline, where every pump/deliver
+// hop schedules its successor "now" — go to an O(1) FIFO lane, while future
+// events go to the binary heap. The two are merged at the head by (At, seq),
+// so dispatch order is exactly what a single heap would produce.
 type EventQueue struct {
 	heap eventHeap
 	now  Time
 	seq  int64
+	// lane holds events scheduled at (or clamped to) the current time, in
+	// (At, seq) order. laneHead indexes the next live entry; popped and
+	// cancelled slots before it are nil. The lane invariant — every lane
+	// entry sorts at-or-before every heap entry that was pending when it was
+	// appended — holds because Schedule clamps At to >= now and the heap
+	// never contains an event with At < now.
+	lane     []*Event
+	laneHead int
+	// horizon, when nonzero, is the deadline of the RunUntil/FlushUntil loop
+	// currently dispatching; Horizon() exposes it so bulk callbacks (the
+	// firmware delivery train) can tell how far this dispatch round extends.
+	horizon Time
 	// free recycles dispatched/cancelled Event objects so the steady-state
 	// schedule→dispatch cycle of the firmware page pipeline allocates
-	// nothing.
+	// nothing. Cancelled lane entries are recycled only when their slot is
+	// popped, never at Cancel time, so a pending pop can never observe a
+	// reused payload.
 	free []*Event
 }
 
 // Now returns the time of the most recently dispatched event.
 func (q *EventQueue) Now() Time { return q.now }
 
+// Horizon returns the furthest time the current dispatch round is committed
+// to reach: the active RunUntil/FlushUntil deadline, or Now for a bare Step.
+// Events at times <= Horizon() are guaranteed to fire within this round.
+func (q *EventQueue) Horizon() Time {
+	if q.horizon > q.now {
+		return q.horizon
+	}
+	return q.now
+}
+
+// AdvanceTo moves the clock forward to t without dispatching anything. Bulk
+// callbacks that absorb what would have been several later events (the
+// firmware delivery train) use it so code running under them observes the
+// same Now as the per-event world. Moving backwards is a no-op.
+func (q *EventQueue) AdvanceTo(t Time) {
+	if t > q.now {
+		q.now = t
+	}
+}
+
+// ReserveSeq claims and returns the next FIFO tie-break sequence number
+// without scheduling anything. Pair with ScheduleSeq: a caller that batches
+// several logical events into one can reserve each one's sequence number at
+// the point the per-event code would have scheduled it, keeping the (At, seq)
+// sort key — and therefore global dispatch order — identical.
+func (q *EventQueue) ReserveSeq() int64 {
+	q.seq++
+	return q.seq
+}
+
 // Schedule queues fn to run at time at. Scheduling in the past (before the
 // last dispatched event) snaps to the current time rather than violating
 // causality; callers that care should not do it.
 func (q *EventQueue) Schedule(at Time, fn func(now Time)) *Event {
+	q.seq++
+	return q.insert(at, q.seq, fn)
+}
+
+// ScheduleSeq queues fn at time at with a previously reserved sequence
+// number. The reservation fixes the event's FIFO rank among simultaneous
+// events at the moment ReserveSeq was called, regardless of how many events
+// were scheduled since.
+func (q *EventQueue) ScheduleSeq(at Time, seq int64, fn func(now Time)) *Event {
+	return q.insert(at, seq, fn)
+}
+
+func (q *EventQueue) insert(at Time, seq int64, fn func(now Time)) *Event {
 	if at < q.now {
 		at = q.now
 	}
-	q.seq++
 	var e *Event
 	if n := len(q.free); n > 0 {
 		e = q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		e.At, e.Fn, e.seq = at, fn, q.seq
+		e.At, e.Fn, e.seq = at, fn, seq
 	} else {
 		if cap(q.heap) == 0 {
 			// First use: pre-size the heap so the early fill of the page
 			// pipeline does not grow it step by step.
 			q.heap = make(eventHeap, 0, 64)
 		}
-		e = &Event{At: at, Fn: fn, seq: q.seq}
+		e = &Event{At: at, Fn: fn, seq: seq}
 	}
-	heap.Push(&q.heap, e)
+	if at == q.now {
+		q.lanePush(e)
+	} else {
+		heap.Push(&q.heap, e)
+	}
 	return e
+}
+
+// lanePush appends e to the now-lane, inserting in (At, seq) order. The
+// common case — a fresh sequence number, larger than every pending one — is
+// a plain append; only ScheduleSeq with an older reservation walks backwards.
+func (q *EventQueue) lanePush(e *Event) {
+	pos := len(q.lane)
+	q.lane = append(q.lane, e)
+	for pos > q.laneHead {
+		prev := q.lane[pos-1]
+		if prev.At < e.At || (prev.At == e.At && prev.seq < e.seq) {
+			break
+		}
+		q.lane[pos] = prev
+		prev.index = laneIndex(pos)
+		pos--
+	}
+	q.lane[pos] = e
+	e.index = laneIndex(pos)
+}
+
+// laneSkipCancelled pops cancelled tombstones off the lane head, recycling
+// them now that nothing can dereference their slot, and resets the lane
+// backing once drained so it never grows without bound.
+func (q *EventQueue) laneSkipCancelled() {
+	for q.laneHead < len(q.lane) {
+		e := q.lane[q.laneHead]
+		if e.Fn != nil {
+			return
+		}
+		q.lane[q.laneHead] = nil
+		q.laneHead++
+		e.index = -1
+		q.free = append(q.free, e)
+	}
+	q.lane = q.lane[:0]
+	q.laneHead = 0
 }
 
 // recycle returns a no-longer-queued event to the pool, dropping its closure
 // reference.
 func (q *EventQueue) recycle(e *Event) {
 	e.Fn = nil
+	e.index = -1
 	q.free = append(q.free, e)
 }
 
@@ -102,9 +216,23 @@ func (q *EventQueue) ScheduleAfter(delta Time, fn func(now Time)) *Event {
 // Cancel removes a queued event. Cancelling an already-fired or
 // already-cancelled event is a no-op (but see Event: a stale handle may by
 // then refer to a recycled object, so cancel only handles you know are still
-// pending).
+// pending). Heap events are unlinked immediately; lane events are
+// tombstoned in place and recycled when their slot is popped, so a
+// same-instant pop that already resolved the slot cannot fire a recycled
+// payload.
 func (q *EventQueue) Cancel(e *Event) {
-	if e == nil || e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
+	if e == nil {
+		return
+	}
+	if e.index <= -2 {
+		pos := lanePos(e.index)
+		if pos < q.laneHead || pos >= len(q.lane) || q.lane[pos] != e {
+			return
+		}
+		e.Fn = nil // tombstone; laneSkipCancelled/Step recycle it at pop time
+		return
+	}
+	if e.index < 0 || e.index >= len(q.heap) || q.heap[e.index] != e {
 		return
 	}
 	heap.Remove(&q.heap, e.index)
@@ -112,22 +240,63 @@ func (q *EventQueue) Cancel(e *Event) {
 }
 
 // Empty reports whether no events remain.
-func (q *EventQueue) Empty() bool { return len(q.heap) == 0 }
+func (q *EventQueue) Empty() bool {
+	q.laneSkipCancelled()
+	return q.laneHead >= len(q.lane) && len(q.heap) == 0
+}
 
 // PeekTime returns the time of the next event, or MaxTime if none.
 func (q *EventQueue) PeekTime() Time {
-	if len(q.heap) == 0 {
-		return MaxTime
+	t, _ := q.PeekNext()
+	return t
+}
+
+// PeekNext returns the (At, seq) sort key of the next event to dispatch, or
+// (MaxTime, MaxInt64) if none. Bulk callbacks compare their pending work
+// against it to decide whether anything else must run first.
+func (q *EventQueue) PeekNext() (Time, int64) {
+	q.laneSkipCancelled()
+	le := q.laneHead < len(q.lane)
+	he := len(q.heap) > 0
+	switch {
+	case !le && !he:
+		return MaxTime, math.MaxInt64
+	case le && !he:
+		e := q.lane[q.laneHead]
+		return e.At, e.seq
+	case he && !le:
+		return q.heap[0].At, q.heap[0].seq
 	}
-	return q.heap[0].At
+	l, h := q.lane[q.laneHead], q.heap[0]
+	if l.At < h.At || (l.At == h.At && l.seq < h.seq) {
+		return l.At, l.seq
+	}
+	return h.At, h.seq
 }
 
 // Step dispatches the next event. It reports false when the queue is empty.
 func (q *EventQueue) Step() bool {
-	if len(q.heap) == 0 {
+	q.laneSkipCancelled()
+	var e *Event
+	le := q.laneHead < len(q.lane)
+	he := len(q.heap) > 0
+	switch {
+	case !le && !he:
 		return false
+	case le && (!he || func() bool {
+		l, h := q.lane[q.laneHead], q.heap[0]
+		return l.At < h.At || (l.At == h.At && l.seq < h.seq)
+	}()):
+		e = q.lane[q.laneHead]
+		q.lane[q.laneHead] = nil
+		q.laneHead++
+		if q.laneHead >= len(q.lane) {
+			q.lane = q.lane[:0]
+			q.laneHead = 0
+		}
+	default:
+		e = heap.Pop(&q.heap).(*Event)
 	}
-	e := heap.Pop(&q.heap).(*Event)
 	q.now = e.At
 	fn, at := e.Fn, e.At
 	// Recycle before dispatch: the callback may Schedule, and should be able
@@ -141,11 +310,15 @@ func (q *EventQueue) Step() bool {
 // deadline (or to the last event time if that is later than the deadline
 // due to an exactly-at-deadline event). It returns the number of events run.
 func (q *EventQueue) RunUntil(deadline Time) int {
+	prev := q.horizon
+	q.horizon = deadline
 	n := 0
-	for len(q.heap) > 0 && q.heap[0].At <= deadline {
-		q.Step()
+	// PeekTime returns MaxTime for an empty queue, so when deadline is
+	// MaxTime the Step return is what terminates the loop.
+	for q.PeekTime() <= deadline && q.Step() {
 		n++
 	}
+	q.horizon = prev
 	if q.now < deadline {
 		q.now = deadline
 	}
@@ -157,11 +330,13 @@ func (q *EventQueue) RunUntil(deadline Time) int {
 // using the queue afterwards (e.g. between back-to-back requests) must not
 // have the clock dragged to an arbitrary deadline.
 func (q *EventQueue) FlushUntil(deadline Time) int {
+	prev := q.horizon
+	q.horizon = deadline
 	n := 0
-	for len(q.heap) > 0 && q.heap[0].At <= deadline {
-		q.Step()
+	for q.PeekTime() <= deadline && q.Step() {
 		n++
 	}
+	q.horizon = prev
 	return n
 }
 

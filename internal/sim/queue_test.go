@@ -48,6 +48,82 @@ func TestEventQueueCancel(t *testing.T) {
 	}
 }
 
+// TestEventQueueCancelRecycleNotReusedWhileQueued pins the pooled-event
+// reuse-after-cancel contract: a cancelled event whose queue slot has not
+// been popped yet must not be handed back out by the pool. If Cancel
+// recycled a now-lane entry immediately, the next Schedule would load a new
+// payload into an object the lane still references, firing it twice.
+func TestEventQueueCancelRecycleNotReusedWhileQueued(t *testing.T) {
+	var q EventQueue
+	q.Schedule(10, func(Time) {})
+	q.Step() // now = 10: subsequent Schedule(10, ...) lands in the now-lane
+	var got []string
+	a := q.Schedule(10, func(Time) { got = append(got, "a") })
+	q.Schedule(10, func(Time) { got = append(got, "b") })
+	q.Cancel(a)
+	q.Cancel(a) // double-cancel of a tombstoned lane entry is a no-op
+	// Would reuse a's pooled object if Cancel recycled it while still in
+	// the lane — the lane slot would then fire c's payload a second time.
+	q.Schedule(10, func(Time) { got = append(got, "c") })
+	q.Drain(0)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Fatalf("dispatch after lane cancel = %v, want [b c]", got)
+	}
+}
+
+// TestEventQueueTwoLevelMerge checks that now-lane entries and heap entries
+// at the same timestamp dispatch in global (At, seq) order.
+func TestEventQueueTwoLevelMerge(t *testing.T) {
+	var q EventQueue
+	var got []int
+	q.Schedule(20, func(now Time) {
+		got = append(got, 1)
+		// Lands in the now-lane with a seq after the heap-resident peer
+		// below: must fire last despite the lane being "nearer".
+		q.Schedule(now, func(Time) { got = append(got, 3) })
+	})
+	q.Schedule(20, func(Time) { got = append(got, 2) })
+	q.Drain(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("merge order = %v, want [1 2 3]", got)
+	}
+}
+
+// TestEventQueueReservedSeq checks that ScheduleSeq restores the FIFO rank
+// claimed at ReserveSeq time, even for insertions after later-seq peers.
+func TestEventQueueReservedSeq(t *testing.T) {
+	var q EventQueue
+	var got []int
+	s1 := q.ReserveSeq()
+	q.Schedule(0, func(Time) { got = append(got, 2) })
+	q.ScheduleSeq(0, s1, func(Time) { got = append(got, 1) })
+	s2 := q.ReserveSeq()
+	q.Schedule(5, func(Time) { got = append(got, 4) })
+	q.ScheduleSeq(5, s2, func(Time) { got = append(got, 3) })
+	q.Drain(0)
+	if len(got) != 4 || got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("reserved-seq order = %v, want [1 2 3 4]", got)
+	}
+}
+
+func TestEventQueueHorizon(t *testing.T) {
+	var q EventQueue
+	var inRun, inFlush, inStep Time
+	q.Schedule(10, func(Time) { inRun = q.Horizon() })
+	q.RunUntil(100)
+	q.Schedule(200, func(Time) { inFlush = q.Horizon() })
+	q.FlushUntil(300)
+	q.Schedule(400, func(Time) { inStep = q.Horizon() })
+	q.Step()
+	if inRun != 100 || inFlush != 300 || inStep != 400 {
+		t.Fatalf("Horizon inside RunUntil/FlushUntil/Step = %v/%v/%v, want 100/300/400",
+			inRun, inFlush, inStep)
+	}
+	if q.Horizon() != q.Now() {
+		t.Fatalf("idle Horizon = %v, want Now (%v)", q.Horizon(), q.Now())
+	}
+}
+
 func TestEventQueueRunUntil(t *testing.T) {
 	var q EventQueue
 	var got []Time

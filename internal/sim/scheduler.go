@@ -116,6 +116,11 @@ type Scheduler struct {
 	procs  []*procEntry
 	index  map[Process]*procEntry
 	quanta map[Process]Time // per-process quanta, also for not-yet-added procs
+
+	// wakeGen increments whenever a Wake improves some process's readiness;
+	// Run's all-blocked fast-forward batches event dispatch until it changes
+	// instead of rescanning every process after each event.
+	wakeGen uint64
 }
 
 // NewScheduler returns a scheduler with the default quantum.
@@ -169,6 +174,7 @@ func (s *Scheduler) Wake(p Process, t Time) {
 	}
 	if t < e.readyAt {
 		e.readyAt = t
+		s.wakeGen++
 		if s.Tel != nil {
 			s.Tel.Wakes.Inc()
 		}
@@ -225,11 +231,18 @@ func (s *Scheduler) Run(deadline Time) (Time, error) {
 			return s.Now(), nil
 		}
 
-		// A process waiting for an unknown wake must not drag the event
-		// clock forward: dispatch events one at a time until one wakes it.
+		// Every live process waits for an unknown wake: fast-forward by
+		// dispatching events back to back (they fire in time order either
+		// way) until one of them lands a Wake, without rescanning the
+		// process table per event. The event clock still never jumps past
+		// the last dispatched event.
 		if next.readyAt == MaxTime {
-			if !s.Events.Empty() {
-				s.Events.Step()
+			gen := s.wakeGen
+			stepped := false
+			for gen == s.wakeGen && s.Events.Step() {
+				stepped = true
+			}
+			if stepped {
 				continue
 			}
 			return s.Now(), fmt.Errorf("%w (e.g. %s)", ErrDeadlock, next.p.Name())

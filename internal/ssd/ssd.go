@@ -123,6 +123,12 @@ type Options struct {
 	// macro-steps, cpu.ExecPrecise forces per-instruction stepping for
 	// debugging. All three produce byte-identical results.
 	Exec cpu.ExecMode
+	// DataPlane selects the firmware delivery event structure:
+	// firmware.PlaneCoalesced (default) batches consecutive unconstrained
+	// page deliveries into single event dispatches, firmware.PlanePerPage
+	// keeps one event per page as the equivalence oracle. Both produce
+	// byte-identical results, timing, and telemetry.
+	DataPlane firmware.PlaneMode
 	// CoreQuantum, when > 0, gives compute cores a private scheduler run
 	// quantum in place of the global default (1 µs). Larger quanta reduce
 	// scheduler round-trips per stream window at the cost of coarser
@@ -522,6 +528,7 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 	engine := firmware.New(firmware.Config{
 		PageSize: s.Opt.Flash.PageSize,
 		Path:     s.DataPath(),
+		Plane:    s.Opt.DataPlane,
 	}, s.Sched, s.FTL, s.DRAM, s.Xbar)
 	engine.Tel = firmware.NewTel(s.Opt.Telemetry)
 

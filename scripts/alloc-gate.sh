@@ -1,0 +1,26 @@
+#!/bin/sh
+# Alloc-regression gate for the simulator's hot paths: the event queue and
+# the crossbar arbitration benchmarks must report exactly 0 allocs/op, and
+# the firmware steady-state guard test (which pins the whole
+# feeder -> crossbar -> stream-buffer page path) must pass. Any per-event or
+# per-page allocation that sneaks back in fails CI here with a benchmark
+# name attached.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+go test ./internal/sim/ -run '^$' -bench 'BenchmarkEventQueue' -benchmem -benchtime 10000x | tee "$OUT"
+go test ./internal/crossbar/ -run '^$' -bench 'BenchmarkCrossbarArbitration' -benchmem -benchtime 10000x | tee -a "$OUT"
+
+bad=$(awk '/allocs\/op/ && $(NF-1) != 0 { print $1 }' "$OUT")
+if [ -n "$bad" ]; then
+	echo "alloc-gate: hot-path benchmarks allocate:" >&2
+	echo "$bad" >&2
+	exit 1
+fi
+
+go test ./internal/firmware/ -run 'TestDataPlaneSteadyStateZeroAlloc' -count 1
+
+echo "alloc-gate: hot paths are allocation-free"

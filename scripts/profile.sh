@@ -1,0 +1,32 @@
+#!/bin/sh
+# Per-experiment simulator profiling: runs each experiment at the quick scale
+# with CPU and allocation profiling enabled and prints a top-10 cumulative
+# table for both profiles, so hot-path regressions in the data plane show up
+# as a function name, not a wall-time delta.
+#
+# Usage: scripts/profile.sh [experiment ...]       (default: all experiments)
+#
+# Profiles land in profiles/<exp>.{cpu,mem}.pprof for deeper digging with
+# `go tool pprof -http`.
+set -eu
+cd "$(dirname "$0")/.."
+
+EXPS="${*:-table2 table4 fig5 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table5 fig22 ablation}"
+OUT=profiles
+mkdir -p "$OUT"
+
+BIN="$OUT/assasin-bench"
+go build -o "$BIN" ./cmd/assasin-bench
+
+for exp in $EXPS; do
+	cpu="$OUT/$exp.cpu.pprof"
+	mem="$OUT/$exp.mem.pprof"
+	"./$BIN" -quick -exp "$exp" -parallel 1 \
+		-cpuprofile "$cpu" -memprofile "$mem" >/dev/null
+	echo "=== $exp: top-10 CPU (cumulative) ==="
+	go tool pprof -top -cum -nodecount=10 "$BIN" "$cpu" | sed '/^Showing nodes/,$!d'
+	echo "=== $exp: top-10 allocations (alloc_space, cumulative) ==="
+	go tool pprof -top -cum -nodecount=10 -sample_index=alloc_space "$BIN" "$mem" | sed '/^Showing nodes/,$!d'
+	echo
+done
+echo "profile: raw profiles in $OUT/ (go tool pprof -http=: $BIN $OUT/<exp>.cpu.pprof)"
