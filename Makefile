@@ -14,12 +14,13 @@ test: build
 # telemetry sink (documented single-threaded; the race gate catches
 # accidental sharing from tests), and the observability layer that serves
 # concurrent scrapers against a running simulation. The cpu and data-plane
-# equivalence soaks (internal/experiments) also run here: any
-# Precise/Fused/Compiled or coalesced/per-page divergence is a release
-# blocker.
+# equivalence soaks (internal/experiments) also run here, plus the
+# request-trace parallel-determinism check: any Precise/Fused/Compiled or
+# coalesced/per-page divergence, and any worker-count-dependent request
+# summary, is a release blocker.
 race:
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
-	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane'
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane|TestRequestsParallelDeterminism'
 
 # A short bounded differential-fuzz pass over the three execution engines;
 # the checked-in corpus under internal/cpu/testdata/fuzz seeds it with
@@ -48,7 +49,7 @@ ci:
 	go build ./...
 	go test ./...
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
-	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane'
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane|TestRequestsParallelDeterminism'
 	go test ./internal/cpu/ -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 10s
 	scripts/alloc-gate.sh
 	scripts/serve-smoke.sh

@@ -14,6 +14,7 @@
 //	assasin-bench -exp table2 -quick -report  # per-run stall attribution
 //	assasin-bench -exp table2 -quick -timeline out/  # per-run sampled timelines
 //	assasin-bench -exp table2 -quick -report -diff  # Baseline-vs-AssasinSb deltas
+//	assasin-bench -exp table2 -quick -requests 4    # per-run slowest-request tables
 package main
 
 import (
@@ -24,8 +25,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"assasin/internal/buildinfo"
 	"assasin/internal/cpu"
 	"assasin/internal/experiments"
 	"assasin/internal/firmware"
@@ -35,6 +38,7 @@ import (
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
 	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -59,12 +63,19 @@ func main() {
 		tlDir    = flag.String("timeline", "", "directory to write per-run TIMELINE_<exp>_<run>.json sampled timelines into")
 		tlIvalUs = flag.Float64("timeline-interval-us", 10, "timeline sampling interval in simulated microseconds")
 		diffRuns = flag.Bool("diff", false, "print per-kernel Baseline-vs-AssasinSb differential reports")
-		report   = flag.Bool("report", false, "print a per-run bottleneck-attribution report (forces -parallel 1)")
+		report   = flag.Bool("report", false, "print a per-run bottleneck-attribution report (parallel-safe)")
+		requests = flag.Int("requests", 0, "trace per-request critical paths and print the K slowest requests per run (0 = off; parallel-safe)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
+		version  = flag.Bool("version", false, "print version and build information, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().Line("assasin-bench"))
+		return
+	}
 
 	if err := experiments.ValidateOverrides(*cores, *parallel, *sf, *mb); err != nil {
 		fatal(err)
@@ -115,16 +126,14 @@ func main() {
 		fatal(fmt.Errorf("-timeline-interval-us must be > 0, got %g", *tlIvalUs))
 	}
 
-	// Metrics and timelines are parallel-safe (per-run sinks absorbed at run
-	// boundaries), so only trace capture — which needs the shared
-	// single-goroutine sink — and -report — which wants deterministic run
-	// ids — still force sequential simulation.
+	// Metrics, timelines, request traces, and attribution reports are all
+	// parallel-safe (per-run sinks and tracers, with run records re-ordered
+	// deterministically at experiment boundaries), so only trace capture —
+	// which needs the shared single-goroutine sink — still forces sequential
+	// simulation.
 	var forcedBy []string
 	if *tracePth != "" {
 		forcedBy = append(forcedBy, "-trace")
-	}
-	if *report {
-		forcedBy = append(forcedBy, "-report")
 	}
 	if workers, warning := runpool.SequentialOverride(cfg.Workers, forcedBy...); warning != "" {
 		fmt.Fprintln(os.Stderr, "assasin-bench: "+warning)
@@ -149,22 +158,24 @@ func main() {
 			TraceClasses: *tracePth != "",
 		}
 	}
+	cfg.Requests = *requests
 	var coll *obs.Collector
 	if *report || *diffRuns {
 		coll = obs.NewCollector()
 	}
+	// Run records are buffered under a mutex and drained at experiment
+	// boundaries in a deterministic order, so -report, -diff, and -requests
+	// output is byte-identical for any -parallel setting (see drainRecords).
+	var recMu sync.Mutex
+	var pending []experiments.RunRecord
+	collectRecs := coll != nil || *requests > 0
 	var curExp string
-	if coll != nil || *tlDir != "" {
+	if collectRecs || *tlDir != "" {
 		cfg.OnRunDone = func(rec experiments.RunRecord) {
-			if coll != nil {
-				run := rec.AttributionRun()
-				if cfg.PerRunTelemetry && run.Metrics != nil {
-					// Per-run snapshots already cover exactly one run, so the
-					// delta baseline is empty — not the previously completed
-					// run's snapshot.
-					run.Prev = &telemetry.MetricsSnapshot{}
-				}
-				coll.ObserveRunTimeline(run, rec.Timeline)
+			if collectRecs {
+				recMu.Lock()
+				pending = append(pending, rec)
+				recMu.Unlock()
 			}
 			if *tlDir != "" && rec.Timeline != nil {
 				name := "TIMELINE_" + curExp + "_" + strings.ReplaceAll(rec.Label, "/", "_") + ".json"
@@ -201,6 +212,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(text)
+		if collectRecs {
+			recMu.Lock()
+			recs := pending
+			pending = nil
+			recMu.Unlock()
+			drainRecords(name, recs, coll, cfg, *requests, *jsonDir)
+		}
 		wall := time.Since(start).Seconds()
 		if *jsonDir != "" {
 			var snap *telemetry.MetricsSnapshot
@@ -259,6 +277,83 @@ func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "assasin-bench: %v\n", err)
 	stopProfiles()
 	os.Exit(2)
+}
+
+// drainRecords processes one experiment's buffered run records. Records are
+// sorted by (label, cores, input bytes, duration) — a deterministic total
+// order over every experiment's fan-out — before observation, so collector
+// run ids, attribution reports, and slowest-request tables are independent
+// of parallel completion order. Per-run metrics snapshots get an empty
+// delta baseline (they already cover exactly one run); cumulative
+// shared-sink snapshots (-trace, which forces sequential runs) chain their
+// baselines in completion order before the sort, keeping deltas correct.
+func drainRecords(exp string, recs []experiments.RunRecord, coll *obs.Collector, cfg experiments.Config, requests int, jsonDir string) {
+	type obsRun struct {
+		rec  *experiments.RunRecord
+		prev *telemetry.MetricsSnapshot
+	}
+	runs := make([]obsRun, len(recs))
+	var cum telemetry.MetricsSnapshot
+	for i := range recs {
+		runs[i].rec = &recs[i]
+		if recs[i].Metrics != nil {
+			if cfg.PerRunTelemetry {
+				runs[i].prev = &telemetry.MetricsSnapshot{}
+			} else {
+				p := cum
+				runs[i].prev = &p
+				cum = *recs[i].Metrics
+			}
+		}
+	}
+	sort.SliceStable(runs, func(i, j int) bool {
+		a, b := runs[i].rec, runs[j].rec
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		if a.Cores != b.Cores {
+			return a.Cores < b.Cores
+		}
+		if a.InputBytes != b.InputBytes {
+			return a.InputBytes < b.InputBytes
+		}
+		return a.Duration < b.Duration
+	})
+	var sums []*reqtrace.Summary
+	for _, r := range runs {
+		if coll != nil {
+			run := r.rec.AttributionRun()
+			if run.Metrics != nil {
+				run.Prev = r.prev
+			}
+			coll.ObserveRunData(run, r.rec.Timeline, r.rec.Requests)
+		}
+		if r.rec.Requests != nil {
+			sums = append(sums, r.rec.Requests)
+		}
+	}
+	if requests <= 0 || len(sums) == 0 {
+		return
+	}
+	for _, sum := range sums {
+		if err := sum.WriteText(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if jsonDir != "" {
+		path := filepath.Join(jsonDir, "REQUESTS_"+exp+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reqtrace.WriteSummariesJSON(f, sums); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("[requests: %s, %d runs]\n", path, len(sums))
+	}
 }
 
 // printArchDiffs emits one differential report per kernel that ran on both

@@ -18,16 +18,22 @@ import (
 	"fmt"
 	"os"
 
+	"assasin/internal/buildinfo"
 	"assasin/internal/telemetry/diff"
 )
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit the differential report as JSON instead of text")
+	version := flag.Bool("version", false, "print version and build information, then exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: assasin-diff [-json] <a.json> <b.json>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Get().Line("assasin-diff"))
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

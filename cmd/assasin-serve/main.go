@@ -11,9 +11,10 @@
 //	assasin-serve -once -quick               # exit when the experiments finish
 //
 // Endpoints: /healthz, /readyz, /metrics, /runs, /runs/{id}/report,
-// /runs/{id}/timeline, /runs/{id}/compare/{other}, /debug/pprof/. Scraping
-// never perturbs simulation results: the sim goroutine publishes immutable
-// snapshots at run boundaries and the handlers only read published state.
+// /runs/{id}/timeline, /runs/{id}/requests, /runs/{id}/requests/{rid},
+// /runs/{id}/compare/{other}, /debug/pprof/. Scraping never perturbs
+// simulation results: the sim goroutine publishes immutable snapshots at
+// run boundaries and the handlers only read published state.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"assasin/internal/buildinfo"
 	"assasin/internal/cpu"
 	"assasin/internal/experiments"
 	"assasin/internal/obs"
@@ -46,9 +48,16 @@ func main() {
 		mb       = flag.Float64("mb", 0, "override standalone kernel input MB")
 		execMode = flag.String("exec", "compiled", "interpreter strategy: compiled (threaded code, default), fused, or precise (results are identical)")
 		once     = flag.Bool("once", false, "exit once the experiments finish instead of serving until interrupted")
+		requests = flag.Int("requests", 8, "retain the K slowest requests per run for /runs/{id}/requests (0 = off)")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		version  = flag.Bool("version", false, "print version and build information, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().Line("assasin-serve"))
+		return
+	}
 
 	log, err := obs.NewLogger(os.Stderr, *logLevel)
 	if err != nil {
@@ -98,9 +107,11 @@ func main() {
 	cfg.Telemetry = tel
 	cfg.Workers = 1
 	cfg.Timeline = &timeline.Config{}
+	cfg.Requests = *requests
 	coll := obs.NewCollector()
+	coll.SetBuildInfo(buildinfo.Get().PromLabels()...)
 	cfg.OnRunDone = func(rec experiments.RunRecord) {
-		coll.ObserveRunTimeline(rec.AttributionRun(), rec.Timeline)
+		coll.ObserveRunData(rec.AttributionRun(), rec.Timeline, rec.Requests)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

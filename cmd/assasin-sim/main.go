@@ -9,6 +9,7 @@
 //	assasin-sim -arch UDP -kernel aes -mb 0.25 -adjusted
 //	assasin-sim -kernel scan -trace trace.json -metrics metrics.json
 //	assasin-sim -kernel stat -timeline tl.json -report
+//	assasin-sim -kernel stat -requests 8 -requests-json reqs.json
 //	assasin-sim -arch AssasinSb -kernel stat -diff baseline-metrics.json
 package main
 
@@ -19,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"assasin/internal/buildinfo"
 	"assasin/internal/cpu"
 	"assasin/internal/firmware"
 	"assasin/internal/kernels"
@@ -28,6 +30,7 @@ import (
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
 	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -51,11 +54,22 @@ func main() {
 		tlIvalUs = flag.Float64("timeline-interval-us", 10, "timeline sampling interval in simulated microseconds")
 		diffPth  = flag.String("diff", "", "compare this run against a baseline JSON file (metrics, timeline, report, or BENCH envelope)")
 		report   = flag.Bool("report", false, "print the run's bottleneck-attribution report")
+		requests = flag.Int("requests", 0, "trace per-request critical paths and print the K slowest requests (0 = off)")
+		reqJSON  = flag.String("requests-json", "", "write the request-trace summary as JSON (implies -requests 8 when unset)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
+		version  = flag.Bool("version", false, "print version and build information, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get().Line("assasin-sim"))
+		return
+	}
+	if *reqJSON != "" && *requests <= 0 {
+		*requests = 8
+	}
 
 	if *mb < 0 {
 		fail(fmt.Errorf("-mb must be >= 0, got %g", *mb))
@@ -106,7 +120,11 @@ func main() {
 			TraceClasses: *tracePth != "",
 		})
 	}
-	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, DataPlane: planeMode, Telemetry: tel, Timeline: sampler, Log: log})
+	var tracer *reqtrace.Tracer
+	if *requests > 0 {
+		tracer = reqtrace.New(tel, reqtrace.Config{TopK: *requests})
+	}
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, DataPlane: planeMode, Telemetry: tel, Timeline: sampler, Requests: tracer, Log: log})
 	size := int(*mb * (1 << 20))
 	size -= size % 64
 	var lpaLists [][]int
@@ -185,6 +203,25 @@ func main() {
 	}
 	if *report {
 		fmt.Print(analyze.FormatReport(rep))
+	}
+	if tracer != nil {
+		sum := tracer.Summary(label)
+		if err := sum.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+		if *reqJSON != "" {
+			f, err := os.Create(*reqJSON)
+			if err != nil {
+				fail(err)
+			}
+			if err := reqtrace.WriteSummariesJSON(f, []*reqtrace.Summary{sum}); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  requests    %s (%d traced)\n", *reqJSON, sum.Count)
+		}
 	}
 	if tel != nil {
 		if *tracePth != "" {

@@ -1,0 +1,88 @@
+// Package buildinfo resolves the binary's build identity: a link-time
+// version string plus whatever VCS metadata the Go toolchain stamped into
+// the binary. Every cmd exposes it behind -version, and assasin-serve
+// exports it as the conventional assasin_build_info Prometheus gauge, so a
+// scrape (or a bug report) always names the exact build it came from.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the release version, overridable at link time:
+//
+//	go build -ldflags "-X assasin/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// It stays "dev" for plain go build / go test binaries.
+var Version = "dev"
+
+// Info is the resolved build identity of the running binary.
+type Info struct {
+	// Version is the link-time Version string.
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit hash, "" when built outside a checkout
+	// (or from a test binary, which carries no VCS stamps).
+	Revision string
+	// Time is the commit timestamp (RFC 3339), "" when unknown.
+	Time string
+	// Modified reports a dirty working tree at build time.
+	Modified bool
+}
+
+// Get resolves the current binary's Info. The VCS fields degrade to empty
+// rather than failing: test binaries and toolchains without VCS stamping
+// still yield a usable Version/GoVersion pair.
+func Get() Info {
+	info := Info{Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				info.Revision = s.Value
+			case "vcs.time":
+				info.Time = s.Value
+			case "vcs.modified":
+				info.Modified = s.Value == "true"
+			}
+		}
+	}
+	return info
+}
+
+// Line renders the one-line -version output for a command.
+func (i Info) Line(cmd string) string {
+	rev := i.Revision
+	if rev == "" {
+		rev = "unknown"
+	} else {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Modified {
+			rev += "-dirty"
+		}
+	}
+	out := fmt.Sprintf("%s %s (%s, commit %s", cmd, i.Version, i.GoVersion, rev)
+	if i.Time != "" {
+		out += ", " + i.Time
+	}
+	return out + ")"
+}
+
+// PromLabels returns the Info as alternating key, value pairs for
+// obs.(*Collector).SetBuildInfo.
+func (i Info) PromLabels() []string {
+	rev := i.Revision
+	if i.Modified {
+		rev += "-dirty"
+	}
+	return []string{
+		"version", i.Version,
+		"go_version", i.GoVersion,
+		"vcs_revision", rev,
+	}
+}

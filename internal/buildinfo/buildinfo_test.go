@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetDefaults(t *testing.T) {
+	i := Get()
+	if i.Version != "dev" {
+		t.Errorf("Version = %q, want dev (test binaries carry no ldflags)", i.Version)
+	}
+	if !strings.HasPrefix(i.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want go prefix", i.GoVersion)
+	}
+}
+
+func TestLine(t *testing.T) {
+	i := Info{Version: "v1.2.3", GoVersion: "go1.99", Revision: "0123456789abcdef", Time: "2026-01-02T03:04:05Z", Modified: true}
+	got := i.Line("assasin-sim")
+	want := "assasin-sim v1.2.3 (go1.99, commit 0123456789ab-dirty, 2026-01-02T03:04:05Z)"
+	if got != want {
+		t.Errorf("Line = %q, want %q", got, want)
+	}
+	bare := Info{Version: "dev", GoVersion: "go1.99"}
+	if got := bare.Line("x"); got != "x dev (go1.99, commit unknown)" {
+		t.Errorf("bare Line = %q", got)
+	}
+}
+
+func TestPromLabels(t *testing.T) {
+	i := Info{Version: "dev", GoVersion: "go1.99", Revision: "abc"}
+	got := i.PromLabels()
+	want := []string{"version", "dev", "go_version", "go1.99", "vcs_revision", "abc"}
+	if len(got) != len(want) {
+		t.Fatalf("PromLabels = %v", got)
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("PromLabels = %v, want %v", got, want)
+		}
+	}
+}

@@ -99,6 +99,12 @@ type Stats struct {
 	LoadBytes, StoreBytes, StreamInBytes, StreamOutBytes int64
 	// Retries counts blocked accesses that had to be re-attempted.
 	Retries int64
+	// Dispatches counts scheduler run slices entered before the program
+	// halted. The count is taken inside the shared interpreter entry, so it
+	// is identical across Exec modes and data planes (the equivalence soaks
+	// compare it); request tracing uses deltas to report per-request
+	// dispatch slices.
+	Dispatches int64
 }
 
 // TotalTime returns busy plus all stall time.
@@ -326,6 +332,7 @@ func (c *Core) run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 	if c.halted {
 		return c.at, sim.StateDone, 0
 	}
+	c.stats.Dispatches++
 	period := c.cfg.Clock.Period
 	if c.blocked && c.wakeAt != sim.MaxTime {
 		// An external wake told us when the blocking condition cleared;

@@ -22,6 +22,7 @@ import (
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -74,6 +75,12 @@ type Config struct {
 	// and driven by simulated time, so timelines are byte-identical
 	// across Workers settings.
 	Timeline *timeline.Config `json:"-"`
+	// Requests, when > 0, attaches a per-run request tracer to every
+	// standalone run, retaining the Requests slowest requests with full
+	// critical-path detail; the finished summary is delivered on
+	// RunRecord.Requests. Tracers are per-run (the per-run-sink pattern),
+	// so summaries are byte-identical across Workers settings.
+	Requests int
 	// OnRunDone, when non-nil, receives a record of every completed
 	// standalone run: label, per-core cycle decomposition, and (when
 	// Telemetry is set) the post-run metrics snapshot. It is invoked on
@@ -156,6 +163,8 @@ type runOpts struct {
 	perRunTel bool
 	// timeline, when non-nil, attaches a per-run sim-time sampler.
 	timeline *timeline.Config
+	// requests, when > 0, attaches a per-run request tracer (top-K depth).
+	requests int
 	// onRunDone, when non-nil, receives the completed run's RunRecord
 	// (with a metrics snapshot when telemetry is set).
 	onRunDone func(RunRecord)
@@ -170,6 +179,7 @@ func (c Config) instrument(o runOpts) runOpts {
 	o.telemetry = c.Telemetry
 	o.perRunTel = c.PerRunTelemetry
 	o.timeline = c.Timeline
+	o.requests = c.Requests
 	o.onRunDone = c.OnRunDone
 	o.log = c.Log
 	return o
@@ -206,6 +216,10 @@ func runStandalone(o runOpts) (*runResult, error) {
 	if o.timeline != nil {
 		sampler = timeline.New(tel, *o.timeline)
 	}
+	var tracer *reqtrace.Tracer
+	if o.requests > 0 {
+		tracer = reqtrace.New(tel, reqtrace.Config{TopK: o.requests})
+	}
 	if o.log != nil {
 		o.log.Debug("run start", "run", label, "cores", o.cores, "arch", o.arch.String())
 	}
@@ -219,6 +233,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 		CoreQuantum:    o.coreQuantum,
 		Telemetry:      tel,
 		Timeline:       sampler,
+		Requests:       tracer,
 		Log:            o.log,
 	})
 	var lpaLists [][]int
@@ -258,6 +273,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 			InputBytes: res.InputBytes,
 			CoreStats:  res.CoreStats,
 			Timeline:   sampler.Finish(label, int64(res.Duration)),
+			Requests:   tracer.Summary(label),
 		}
 		if tel != nil {
 			snap := tel.Metrics()

@@ -6,6 +6,7 @@ import (
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -29,6 +30,9 @@ type RunRecord struct {
 	// Timeline is the run's sampled timeline, nil unless Config.Timeline
 	// was set.
 	Timeline *timeline.Timeline
+	// Requests is the run's request-trace summary (per-request critical
+	// paths, top-K slowest), nil unless Config.Requests was set.
+	Requests *reqtrace.Summary
 }
 
 // AttributionRun converts the record into the analyze package's input,

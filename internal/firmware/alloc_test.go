@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"assasin/internal/sim"
+	"assasin/internal/telemetry/reqtrace"
 )
 
 // streamRun builds a fresh rig, submits a copy task over pages flash pages,
@@ -40,6 +41,57 @@ func streamRun(t testing.TB, pages int) uint64 {
 		t.Fatal("engine incomplete")
 	}
 	return m1.Mallocs - m0.Mallocs
+}
+
+// streamRunTraced is streamRun with a request record attached to the
+// engine, so the measured window also covers the per-page AddPage/NoteEOS
+// accounting and the OnHalt NoteHalt in the data-plane hot path.
+func streamRunTraced(t testing.TB, pages int) uint64 {
+	ps := 1024
+	data := make([]byte, pages*ps)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	r := newRig(t)
+	lpas := r.install(t, data)
+	r.core.LoadProgram(copyProgram())
+	e := New(Config{PageSize: ps, Path: PathCrossbar}, r.sched, r.f, r.dram, nil)
+	tr := reqtrace.New(nil, reqtrace.Config{TopK: 2})
+	e.Req = tr.Begin("offload", "copy", 0)
+	if err := e.Submit([]Task{{
+		Core:    r.core,
+		Inputs:  []StreamSpec{{LPAs: lpas, Offset: 0, Length: int64(len(data))}},
+		Outputs: []OutTarget{{Kind: OutDiscard}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.Add(r.core)
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if _, err := r.sched.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	if !e.Done() {
+		t.Fatal("engine incomplete")
+	}
+	tr.Complete(e.Req, int64(e.CompletionTime()))
+	return m1.Mallocs - m0.Mallocs
+}
+
+// TestReqtraceSteadyStateZeroAlloc pins the enabled-tracer cost on the same
+// pipeline: with a request record attached, pushing 8x more pages through
+// the data plane must not add per-page allocations — the record is
+// fixed-shape and the per-page accounting is plain integer accumulation.
+func TestReqtraceSteadyStateZeroAlloc(t *testing.T) {
+	small := streamRunTraced(t, 8)
+	large := streamRunTraced(t, 64)
+	if slack := uint64(8); large > small+slack {
+		t.Fatalf("per-page allocations with tracing enabled: 8 pages -> %d allocs, 64 pages -> %d allocs (want <= %d)",
+			small, large, small+slack)
+	}
 }
 
 // TestDataPlaneSteadyStateZeroAlloc pins the zero-copy guarantee of the

@@ -18,6 +18,7 @@ import (
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/reqtrace"
 )
 
 var debugFeeder = false
@@ -189,6 +190,13 @@ type Engine struct {
 	// and task lifecycle instants. Set it before Submit.
 	Tel *Tel
 
+	// Req, when non-nil, is the open request-trace record this engine's
+	// data plane accounts into: per-page sense/transfer/deliver waits,
+	// end-of-stream and halt instants, and drain pages. Nil (the default)
+	// disables request tracing at nil-pointer-branch cost. Set it before
+	// Submit.
+	Req *reqtrace.Request
+
 	feeders  []*feeder
 	drainers []*drainer
 	tasks    []Task
@@ -232,14 +240,23 @@ func (e *Engine) Submit(tasks []Task) error {
 			return fmt.Errorf("firmware: task %d has %d outputs, core has %d slots", ti, len(t.Outputs), len(sys.Streams.Out))
 		}
 		core := t.Core
+		e.Req.TaskSetup(ti, t.CoreID)
 		if e.Tel != nil {
 			e.Tel.TasksSubmitted.Inc()
 			e.Tel.track.Instant("task-submit", int64(e.sched.Events.Now()),
 				telemetry.Arg{Key: "core", Val: int64(t.CoreID)})
+			if e.Req != nil && ti == 0 {
+				// Flow arrows link this request's spans across tracks: the
+				// arrow opens once on the firmware track at submission (not
+				// per task), steps through feeder end-of-stream and core
+				// halt, and ends at completion (emitted by the ssd layer).
+				e.Tel.track.FlowStart("req", int64(e.sched.Events.Now()), int64(e.Req.ID))
+			}
 		}
 		for si := range t.Inputs {
 			fd := &feeder{
 				e:      e,
+				task:   ti,
 				core:   core,
 				coreID: t.CoreID,
 				stream: sys.Streams.In[si],
@@ -268,6 +285,7 @@ func (e *Engine) Submit(tasks []Task) error {
 		for si := range t.Outputs {
 			dr := &drainer{
 				e:      e,
+				task:   ti,
 				core:   core,
 				coreID: t.CoreID,
 				stream: sys.Streams.Out[si],
@@ -291,13 +309,18 @@ func (e *Engine) Submit(tasks []Task) error {
 		}
 		e.liveCores++
 		coreID := t.CoreID
+		taskIdx := ti
 		core.OnHalt(func(at sim.Time) {
 			e.liveCores--
 			e.noteProgress(at)
+			e.Req.NoteHalt(taskIdx, int64(at))
 			if e.Tel != nil {
 				e.Tel.TasksCompleted.Inc()
 				e.Tel.track.Instant("task-halt", int64(at),
 					telemetry.Arg{Key: "core", Val: int64(coreID)})
+				if e.Req != nil {
+					e.Tel.sink.Track("cpu/"+core.Name()).FlowStep("req", int64(at), int64(e.Req.ID))
+				}
 			}
 			// Push drainers to flush remaining partial pages.
 			for _, dr := range e.drainers {
@@ -379,6 +402,7 @@ type delivery struct {
 // flow allocates nothing.
 type feeder struct {
 	e      *Engine
+	task   int // request-trace task index
 	core   *cpu.Core
 	coreID int
 	stream *memhier.InStream
@@ -524,6 +548,16 @@ func (f *feeder) pump(now sim.Time) {
 		// pages of the same stream: delivery is in stream order.
 		avail = sim.MaxT(avail, f.lastAvail)
 		f.lastAvail = avail
+		if req := f.e.Req; req != nil {
+			// Per-page causal components: array sense, channel-bus transfer,
+			// and delivery (crossbar grant / DRAM stage plus in-order gating).
+			// Coalesced trains reuse these accumulators — attribution happens
+			// here at transfer time, so a train delivering N pages in one
+			// dispatch attributes all N in bulk with no extra work.
+			req.AddPage(f.task, int64(len(pg.data)),
+				int64(pg.senseDone-pg.senseStart), int64(txDone-start),
+				int64(avail-txDone), int64(avail))
+		}
 		if f.track != nil {
 			f.track.Span("page", int64(pg.senseStart), int64(avail),
 				telemetry.Arg{Key: "bytes", Val: int64(len(pg.data))},
@@ -553,6 +587,7 @@ func (f *feeder) pump(now sim.Time) {
 		f.stream.Close()
 		f.closed = true
 		f.e.liveFeeders--
+		f.e.Req.NoteEOS(f.task, int64(now))
 		if f.track != nil {
 			f.track.Instant("eos", int64(now))
 		}
@@ -633,8 +668,12 @@ func (f *feeder) doDeliver(at sim.Time, d delivery) {
 		f.closed = true
 		f.e.liveFeeders--
 		f.e.noteProgress(at)
+		f.e.Req.NoteEOS(f.task, int64(at))
 		if f.track != nil {
 			f.track.Instant("eos", int64(at))
+			if f.e.Req != nil {
+				f.track.FlowStep("req", int64(at), int64(f.e.Req.ID))
+			}
 		}
 		f.core.Wake(at)
 		f.e.sched.Wake(f.core, at)
@@ -665,6 +704,7 @@ func (f *feeder) deliver(txDone sim.Time, pg sensedPage) (sim.Time, error) {
 // drainer empties one output stream buffer.
 type drainer struct {
 	e      *Engine
+	task   int // request-trace task index
 	core   *cpu.Core
 	coreID int
 	stream *memhier.OutStream
@@ -728,6 +768,7 @@ func (d *drainer) pump(now sim.Time) {
 			if d.target.Collect {
 				d.collected = append(d.collected, drained...)
 			}
+			d.e.Req.AddDrain(d.task, int64(n), int64(now), int64(freedAt))
 			if d.track != nil {
 				d.track.Span("drain", int64(now), int64(freedAt),
 					telemetry.Arg{Key: "bytes", Val: int64(n)})

@@ -17,6 +17,7 @@ import (
 
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
+	"assasin/internal/telemetry/reqtrace"
 )
 
 // Opcode is an NVMe command opcode in this model.
@@ -100,32 +101,52 @@ func New(drive *ssd.SSD, cfg Config) *Controller {
 func (c *Controller) scheduleIO(reqs []IORequest) []IOCompletion {
 	completions := make([]IOCompletion, len(reqs))
 	ps := c.drive.Opt.Flash.PageSize
+	tracer := c.drive.Opt.Requests
 	for i := range reqs {
 		req := reqs[i]
 		completions[i].Req = req
 		slot := &completions[i]
 		c.drive.Sched.Events.Schedule(req.SubmitAt, func(now sim.Time) {
+			// RequestIDs are assigned at submission; the event fires exactly
+			// at SubmitAt, and event order is deterministic, so IDs are too.
+			tr := tracer.Begin("io-"+req.Op.String(), "", int64(now))
 			switch req.Op {
 			case OpRead:
 				var done sim.Time
 				var payload []byte
+				// Chain legs of the slowest page: flash read, DRAM stage,
+				// host-link transfer. The chain is contiguous from submission
+				// (now -> d -> staged -> out), so the legs sum exactly to the
+				// command latency.
+				var critFlash, critDRAM, critLink sim.Time
 				for p := 0; p < req.Pages; p++ {
 					data, d, err := c.drive.FTL.Read(now, req.LPA+p)
 					if err != nil {
 						slot.Err = err
+						tracer.Abort(tr)
 						return
 					}
 					payload = append(payload, data...)
 					// Staged in DRAM, then out over the host link.
 					staged := c.drive.DRAM.Access(d, ps, true, "host-read")
 					out := c.link.Access(staged, ps)
-					done = sim.MaxT(done, out)
+					if out > done {
+						done = out
+						critFlash, critDRAM, critLink = d-now, staged-d, out-staged
+					}
+				}
+				if tr != nil {
+					tr.AddPathStage(reqtrace.ClassFlashWait, int64(critFlash))
+					tr.AddPathStage(reqtrace.ClassDRAMWait, int64(critDRAM))
+					tr.AddPathStage(reqtrace.ClassHostLink, int64(critLink))
 				}
 				slot.Data = payload
 				slot.Done = done
 				slot.Latency = done - req.SubmitAt
+				tracer.Complete(tr, int64(done))
 			case OpWrite:
 				var done sim.Time
+				var critLink, critDRAM, critFlash sim.Time
 				for p := 0; p < req.Pages; p++ {
 					lo := p * ps
 					hi := lo + ps
@@ -141,14 +162,25 @@ func (c *Controller) scheduleIO(reqs []IORequest) []IOCompletion {
 					busDone, _, err := c.drive.FTL.Write(staged, req.LPA+p, chunk)
 					if err != nil {
 						slot.Err = err
+						tracer.Abort(tr)
 						return
 					}
-					done = sim.MaxT(done, busDone)
+					if busDone > done {
+						done = busDone
+						critLink, critDRAM, critFlash = in-now, staged-in, busDone-staged
+					}
+				}
+				if tr != nil {
+					tr.AddPathStage(reqtrace.ClassHostLink, int64(critLink))
+					tr.AddPathStage(reqtrace.ClassDRAMWait, int64(critDRAM))
+					tr.AddPathStage(reqtrace.ClassFlashWait, int64(critFlash))
 				}
 				slot.Done = done
 				slot.Latency = done - req.SubmitAt
+				tracer.Complete(tr, int64(done))
 			default:
 				slot.Err = fmt.Errorf("nvme: opcode %v not valid as conventional IO", req.Op)
+				tracer.Abort(tr)
 			}
 		})
 	}
@@ -164,6 +196,7 @@ func (c *Controller) RunMixed(tasks []ssd.TaskSpec, reqs []IORequest, deadline s
 	var res *ssd.Result
 	var err error
 	if len(tasks) > 0 {
+		c.drive.SetRequestLabel(OpSComp.String())
 		res, err = c.drive.RunOffload(tasks, deadline)
 	} else {
 		// Pure I/O: drive the event queue directly.

@@ -19,6 +19,7 @@ import (
 
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -33,6 +34,8 @@ type Collector struct {
 	reports   []*analyze.RunReport
 	byID      map[string]*analyze.RunReport
 	timelines map[string]*timeline.Timeline
+	requests  map[string]*reqtrace.Summary
+	buildInfo []promLabel
 }
 
 // NewCollector returns an empty enabled collector.
@@ -40,6 +43,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		byID:      make(map[string]*analyze.RunReport),
 		timelines: make(map[string]*timeline.Timeline),
+		requests:  make(map[string]*reqtrace.Summary),
 	}
 }
 
@@ -58,6 +62,13 @@ func (c *Collector) ObserveRun(run analyze.Run) *analyze.RunReport {
 // phase segmentation is attached to the report before publication, keeping
 // stored reports immutable.
 func (c *Collector) ObserveRunTimeline(run analyze.Run, tl *timeline.Timeline) *analyze.RunReport {
+	return c.ObserveRunData(run, tl, nil)
+}
+
+// ObserveRunData is ObserveRunTimeline for runs that also traced requests:
+// the request summary is stored under the run's id and served at
+// /runs/{id}/requests and /runs/{id}/requests/{rid}.
+func (c *Collector) ObserveRunData(run analyze.Run, tl *timeline.Timeline, reqs *reqtrace.Summary) *analyze.RunReport {
 	if c == nil {
 		return nil
 	}
@@ -75,10 +86,23 @@ func (c *Collector) ObserveRunTimeline(run analyze.Run, tl *timeline.Timeline) *
 	if tl != nil {
 		c.timelines[rep.ID] = tl
 	}
+	if reqs != nil {
+		c.requests[rep.ID] = reqs
+	}
 	if run.Metrics != nil {
 		c.snap = *run.Metrics
 	}
 	return rep
+}
+
+// Requests returns the request-trace summary stored under a run id, or nil.
+func (c *Collector) Requests(id string) *reqtrace.Summary {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requests[id]
 }
 
 // Timeline returns the timeline stored under a run id, or nil.

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -70,6 +71,7 @@ func TestGoldenPrometheus(t *testing.T) {
 
 	c := obs.NewCollector()
 	c.PublishMetrics(tel.Metrics())
+	c.SetBuildInfo("version", "test", "go_version", "go", "vcs_revision", "deadbeef")
 	c.MarkReady()
 
 	var buf bytes.Buffer
@@ -81,8 +83,10 @@ func TestGoldenPrometheus(t *testing.T) {
 		"assasin_fw_pages_fed_total ",
 		"assasin_flash_senses_total ",
 		"# TYPE assasin_flash_ch0_busy_ps gauge",
-		"assasin_sched_quantum_used_ps{quantile=\"0.5\"} ",
+		"# TYPE assasin_sched_quantum_used_ps histogram",
+		"assasin_sched_quantum_used_ps_bucket{le=\"+Inf\"} ",
 		"assasin_sched_quantum_used_ps_count ",
+		"assasin_build_info{version=\"test\",go_version=\"go\",vcs_revision=\"deadbeef\"} 1",
 		"assasin_serve_ready 1",
 	} {
 		if !strings.Contains(text, want) {
@@ -237,6 +241,96 @@ func TestEndpoints(t *testing.T) {
 	}
 	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
 		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestRequestsEndpoints drives a real traced run through the collector and
+// reads it back over HTTP: the summary endpoint, one retained request by id
+// (its critical path must sum exactly to its latency), and the 404/400
+// paths.
+func TestRequestsEndpoints(t *testing.T) {
+	c := obs.NewCollector()
+	cfg := experiments.Config{
+		KernelMB: 0.125, AESKB: 16, ScanMB: 1, TPCHScale: 0.001,
+		Cores: 2, Workers: 1, Telemetry: telemetry.NewSink(),
+		PerRunTelemetry: true, Requests: 4,
+		OnRunDone: func(rec experiments.RunRecord) {
+			c.ObserveRunData(rec.AttributionRun(), rec.Timeline, rec.Requests)
+		},
+	}
+	if _, err := experiments.Fig13(cfg); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkReady()
+	srv := httptest.NewServer(obs.NewHandler(c))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	code, body := get("/runs/run-0001/requests")
+	if code != http.StatusOK {
+		t.Fatalf("/runs/run-0001/requests = %d: %s", code, body)
+	}
+	var sum struct {
+		Count   int64 `json:"count"`
+		Slowest []struct {
+			ID        uint64 `json:"id"`
+			LatencyPs int64  `json:"latency_ps"`
+			Critical  []struct {
+				Class string `json:"class"`
+				DurPs int64  `json:"dur_ps"`
+			} `json:"critical"`
+		} `json:"slowest"`
+	}
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count == 0 || len(sum.Slowest) == 0 {
+		t.Fatalf("empty request summary: %s", body)
+	}
+	r0 := sum.Slowest[0]
+	var total int64
+	for _, sg := range r0.Critical {
+		total += sg.DurPs
+	}
+	if total != r0.LatencyPs {
+		t.Fatalf("critical path sums to %d, latency is %d", total, r0.LatencyPs)
+	}
+
+	code, body = get(fmt.Sprintf("/runs/run-0001/requests/%d", r0.ID))
+	if code != http.StatusOK {
+		t.Fatalf("request detail = %d: %s", code, body)
+	}
+	var one struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.ID != r0.ID {
+		t.Fatalf("detail id = %d, want %d", one.ID, r0.ID)
+	}
+
+	if code, _ := get("/runs/run-9999/requests"); code != http.StatusNotFound {
+		t.Fatalf("unknown run requests = %d, want 404", code)
+	}
+	if code, _ := get("/runs/run-0001/requests/999999"); code != http.StatusNotFound {
+		t.Fatalf("unretained request = %d, want 404", code)
+	}
+	if code, _ := get("/runs/run-0001/requests/notanumber"); code != http.StatusBadRequest {
+		t.Fatalf("malformed request id = %d, want 400", code)
 	}
 }
 

@@ -13,10 +13,11 @@ import (
 // Prometheus text-format exposition of a telemetry snapshot. Metric names
 // are "assasin_<component>_<name>" with non-alphanumeric bytes mapped to
 // '_': counters gain the conventional "_total" suffix, gauges export their
-// value, histograms export summary quantiles (the bucket-interpolated
-// P50/P95/P99 estimates) plus _sum and _count. Output is deterministically
-// ordered (sorted keys) so the exposition can be golden-tested; rendering
-// happens only when a scrape actually asks for it.
+// value, histograms export natively as cumulative _bucket{le=...} series
+// (the in-memory power-of-two buckets) with the conventional +Inf bucket,
+// _sum and _count. Output is deterministically ordered (sorted keys) so the
+// exposition can be golden-tested; rendering happens only when a scrape
+// actually asks for it.
 
 // promName mangles a "component/name" metric key into a valid Prometheus
 // metric name.
@@ -62,10 +63,11 @@ func WritePrometheus(w io.Writer, snap telemetry.MetricsSnapshot) error {
 	for _, key := range sortedKeys(snap.Histograms) {
 		name := promName(key)
 		h := snap.Histograms[key]
-		fmt.Fprintf(bw, "# TYPE %s summary\n", name)
-		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50))
-		fmt.Fprintf(bw, "%s{quantile=\"0.95\"} %s\n", name, promFloat(h.P95))
-		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99))
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(b.LE), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
 		fmt.Fprintf(bw, "%s_sum %d\n", name, h.Sum)
 		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
 	}
@@ -74,12 +76,53 @@ func WritePrometheus(w io.Writer, snap telemetry.MetricsSnapshot) error {
 	return bw.Flush()
 }
 
+// promLabel is one label pair on the build-info gauge.
+type promLabel struct{ key, val string }
+
+// SetBuildInfo attaches version labels emitted as the conventional
+// "assasin_build_info{...} 1" gauge on every scrape. Pairs are alternating
+// key, value strings; call once at startup (cmds pass
+// internal/buildinfo values).
+func (c *Collector) SetBuildInfo(pairs ...string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildInfo = c.buildInfo[:0]
+	for i := 0; i+1 < len(pairs); i += 2 {
+		c.buildInfo = append(c.buildInfo, promLabel{pairs[i], pairs[i+1]})
+	}
+}
+
 // WritePrometheus writes the collector's latest published snapshot plus
 // the collector's own serving metrics. Safe on a nil collector (serving
 // metrics only, all zero).
 func (c *Collector) WritePrometheus(w io.Writer) error {
 	if err := WritePrometheus(w, c.Snapshot()); err != nil {
 		return err
+	}
+	if c != nil {
+		c.mu.Lock()
+		labels := c.buildInfo
+		c.mu.Unlock()
+		if len(labels) > 0 {
+			if _, err := fmt.Fprintf(w, "# TYPE assasin_build_info gauge\nassasin_build_info{"); err != nil {
+				return err
+			}
+			for i, l := range labels {
+				sep := ","
+				if i == 0 {
+					sep = ""
+				}
+				if _, err := fmt.Fprintf(w, "%s%s=%q", sep, l.key, l.val); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "} 1\n"); err != nil {
+				return err
+			}
+		}
 	}
 	ready := 0
 	if c.Ready() {

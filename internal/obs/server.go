@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 
 	"assasin/internal/telemetry/diff"
 )
@@ -29,6 +30,8 @@ type runSummary struct {
 //	/runs                     JSON list of completed runs
 //	/runs/{id}/report         one run's full attribution report
 //	/runs/{id}/timeline       the run's sampled timeline (404 when not sampled)
+//	/runs/{id}/requests       the run's request-trace summary (404 when not traced)
+//	/runs/{id}/requests/{rid} one retained slow request's full causal record
 //	/runs/{id}/compare/{other} differential report between two runs
 //	/debug/pprof/*            the standard Go profiling endpoints
 //
@@ -78,6 +81,32 @@ func NewHandler(c *Collector) http.Handler {
 		}
 		writeJSON(w, tl)
 	})
+	mux.HandleFunc("GET /runs/{id}/requests", func(w http.ResponseWriter, r *http.Request) {
+		sum := c.Requests(r.PathValue("id"))
+		if sum == nil {
+			http.Error(w, "unknown run or no request trace", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, sum)
+	})
+	mux.HandleFunc("GET /runs/{id}/requests/{rid}", func(w http.ResponseWriter, r *http.Request) {
+		sum := c.Requests(r.PathValue("id"))
+		if sum == nil {
+			http.Error(w, "unknown run or no request trace", http.StatusNotFound)
+			return
+		}
+		rid, err := strconv.ParseUint(r.PathValue("rid"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad request id", http.StatusBadRequest)
+			return
+		}
+		req := sum.Find(rid)
+		if req == nil {
+			http.Error(w, "request not retained (only the K slowest are kept)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, req)
+	})
 	mux.HandleFunc("GET /runs/{id}/compare/{other}", func(w http.ResponseWriter, r *http.Request) {
 		a, b := r.PathValue("id"), r.PathValue("other")
 		repA, repB := c.Report(a), c.Report(b)
@@ -93,7 +122,8 @@ func NewHandler(c *Collector) http.Handler {
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "assasin-serve endpoints:\n"+
 			"  /healthz\n  /readyz\n  /metrics\n  /runs\n  /runs/{id}/report\n"+
-			"  /runs/{id}/timeline\n  /runs/{id}/compare/{other}\n  /debug/pprof/\n")
+			"  /runs/{id}/timeline\n  /runs/{id}/requests\n  /runs/{id}/requests/{rid}\n"+
+			"  /runs/{id}/compare/{other}\n  /debug/pprof/\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -226,5 +226,8 @@ func (s *SSD) RunKernel(run KernelRun) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.reqLabel == "" {
+		s.SetRequestLabel(run.Kernel.Name())
+	}
 	return s.RunOffload(tasks, 0)
 }

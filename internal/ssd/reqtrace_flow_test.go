@@ -1,0 +1,112 @@
+package ssd
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"assasin/internal/firmware"
+	"assasin/internal/kernels"
+	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/reqtrace"
+)
+
+// TestRequestFlowEvents checks the Perfetto flow-event side of request
+// tracing: a traced offload emits one flow start at submission on the
+// firmware track, steps at task halts on the core tracks, and a terminating
+// flow end at completion — all in the "req" category and bound to the
+// request's id, so Perfetto draws arrows from submission through every
+// involved core to completion.
+func TestRequestFlowEvents(t *testing.T) {
+	tel := telemetry.NewSink()
+	tracer := reqtrace.New(tel, reqtrace.Config{TopK: 2})
+	data := makeWords(16<<10, 7)
+	tel.StartRun("Stat/AssasinSb")
+	s := New(Options{Arch: AssasinSb, Cores: 2, Telemetry: tel, Requests: tracer})
+	lpas, err := s.InstallBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunKernel(KernelRun{
+		Kernel:     kernels.Stat{},
+		Inputs:     [][]int{lpas},
+		InputBytes: []int64{int64(len(data))},
+		RecordSize: 4,
+		Cores:      2,
+		OutKind:    firmware.OutDiscard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Count() != 1 {
+		t.Fatalf("traced %d requests, want 1", tracer.Count())
+	}
+	sum := tracer.Summary("Stat/AssasinSb")
+	if len(sum.Slowest) != 1 || sum.Slowest[0].LatencyPs != int64(res.Duration) {
+		t.Fatalf("summary = %+v, want one request with latency %d", sum.Slowest, int64(res.Duration))
+	}
+	task := sum.Slowest[0].Tasks[0]
+	if task.PagesFed <= 0 || task.BytesFed <= 0 || task.SensePs <= 0 {
+		t.Fatalf("feeder accounting empty: %+v", task)
+	}
+
+	var buf bytes.Buffer
+	if err := tel.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Cat string  `json:"cat"`
+			ID  string  `json:"id"`
+			BP  string  `json:"bp"`
+			Ts  float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var starts, steps, ends int
+	ids := map[string]bool{}
+	var startTs, endTs float64
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "s", "t", "f":
+			if e.Cat != "req" {
+				t.Fatalf("flow event without req category: %+v", e)
+			}
+			if e.ID == "" {
+				t.Fatalf("flow event without id: %+v", e)
+			}
+			ids[e.ID] = true
+			switch e.Ph {
+			case "s":
+				starts++
+				startTs = e.Ts
+				if e.BP != "" {
+					t.Fatalf("flow start with binding point: %+v", e)
+				}
+			case "t":
+				steps++
+				if e.BP != "e" {
+					t.Fatalf("flow step without enclosing binding: %+v", e)
+				}
+			case "f":
+				ends++
+				endTs = e.Ts
+				if e.BP != "e" {
+					t.Fatalf("flow end without enclosing binding: %+v", e)
+				}
+			}
+		}
+	}
+	if starts != 1 || ends != 1 || steps < 1 {
+		t.Fatalf("flow events: %d starts, %d steps, %d ends (want 1, >=1, 1)", starts, steps, ends)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("flow events bind %d distinct ids, want 1: %v", len(ids), ids)
+	}
+	if endTs < startTs {
+		t.Fatalf("flow end at %f before start at %f", endTs, startTs)
+	}
+}

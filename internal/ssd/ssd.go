@@ -20,6 +20,7 @@ import (
 	"assasin/internal/sim"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -148,6 +149,14 @@ type Options struct {
 	// Like Telemetry, the sampler belongs to this SSD's simulation
 	// goroutine. Nil disables sampling at nil-pointer-branch cost.
 	Timeline *timeline.Sampler
+	// Requests, when non-nil, assigns every offload (and NVMe command, via
+	// internal/nvme) a RequestID at submission and accumulates a causal
+	// span record through the firmware data plane and the cores' cycle
+	// accounting; completed records carry a critical path whose segments
+	// sum exactly to the request latency. Like Telemetry, the tracer
+	// belongs to this SSD's simulation goroutine. Nil disables request
+	// tracing at nil-pointer-branch cost.
+	Requests *reqtrace.Tracer
 	// Log, when non-nil, receives offload lifecycle events: request
 	// submission and completion at Debug level. Handlers must be
 	// goroutine-safe when SSDs run concurrently.
@@ -183,7 +192,12 @@ type SSD struct {
 
 	nextDataLPA int
 	streamTel   *memhier.StreamTel // shared stream-buffer bundle; nil when disabled
+	reqLabel    string             // label for the next traced offload request
 }
+
+// SetRequestLabel names the next offload request in the request trace
+// (RunKernel sets the kernel name; nvme sets the opcode). Cleared after use.
+func (s *SSD) SetRequestLabel(label string) { s.reqLabel = label }
 
 // New assembles an SSD.
 func New(opt Options) *SSD {
@@ -533,6 +547,25 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 	engine.Tel = firmware.NewTel(s.Opt.Telemetry)
 
 	start := s.Sched.Now()
+	req := s.Opt.Requests.Begin("offload", s.reqLabel, int64(start))
+	s.reqLabel = ""
+	engine.Req = req
+	// Per-core baselines at submission: cumulative stats and local clocks,
+	// so the request's core-side accounting is an exact delta.
+	var baseStats []cpu.Stats
+	var baseLocal []sim.Time
+	if req != nil {
+		for i := range tasks {
+			baseStats = append(baseStats, s.Cores[i].Stats())
+			baseLocal = append(baseLocal, s.Cores[i].LocalTime())
+		}
+	}
+	reqDone := false
+	defer func() {
+		if req != nil && !reqDone {
+			s.Opt.Requests.Abort(req) // failed request: recycle, don't record
+		}
+	}()
 	var fwTasks []firmware.Task
 	var totalIn int64
 	for i, t := range tasks {
@@ -602,6 +635,27 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 	dur := engine.CompletionTime() - start
 	if dur < 0 {
 		dur = 0
+	}
+	if req != nil {
+		for i := range tasks {
+			st := s.Cores[i].Stats()
+			base := baseStats[i]
+			req.SetCoreDelta(i,
+				int64(baseLocal[i]),
+				int64(st.BusyTime-base.BusyTime),
+				int64(st.StallTime[cpu.StallMem]-base.StallTime[cpu.StallMem]),
+				int64(st.StallTime[cpu.StallStreamWait]-base.StallTime[cpu.StallStreamWait]),
+				int64(st.StallTime[cpu.StallOutFull]-base.StallTime[cpu.StallOutFull]),
+				int64(st.StallTime[cpu.StallExec]-base.StallTime[cpu.StallExec]),
+				st.Instructions-base.Instructions,
+				st.Dispatches-base.Dispatches)
+		}
+		complete := int64(sim.MaxT(engine.CompletionTime(), start))
+		if tel := s.Opt.Telemetry; tel != nil {
+			tel.Track("fw").FlowEnd("req", complete, int64(req.ID))
+		}
+		s.Opt.Requests.Complete(req, complete)
+		reqDone = true
 	}
 	if s.Opt.Log != nil {
 		s.Opt.Log.Debug("offload complete",

@@ -24,15 +24,21 @@ import (
 // Both writers emit deterministically ordered output (sorted keys, stable
 // event order) so golden-file tests and diffs are meaningful.
 
-// chromeEvent is the JSON shape of one trace-event entry.
+// chromeEvent is the JSON shape of one trace-event entry. Cat/ID/BP are
+// only set on flow events ('s'/'t'/'f'): flows bind globally by (cat, id),
+// so the exporter scopes IDs per run by prefixing the pid, and "bp":"e"
+// binds step/end arrows to the enclosing slice at their timestamp.
 type chromeEvent struct {
 	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
 	Ph   string           `json:"ph"`
 	Ts   float64          `json:"ts"`
 	Dur  *float64         `json:"dur,omitempty"`
 	Pid  int              `json:"pid"`
 	Tid  int              `json:"tid"`
 	S    string           `json:"s,omitempty"`
+	ID   string           `json:"id,omitempty"`
+	BP   string           `json:"bp,omitempty"`
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
@@ -100,6 +106,13 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 			if e.ph == phInstant {
 				ce.S = "t" // thread-scoped instant
 			}
+			if e.ph == phFlowStart || e.ph == phFlowStep || e.ph == phFlowEnd {
+				ce.Cat = "req"
+				ce.ID = fmt.Sprintf("%d:%d", e.pid, e.id)
+				if e.ph != phFlowStart {
+					ce.BP = "e"
+				}
+			}
 			if e.nargs > 0 {
 				ce.Args = make(map[string]int64, e.nargs)
 				for i := 0; i < e.nargs; i++ {
@@ -123,16 +136,28 @@ type GaugeSnapshot struct {
 	Max   int64 `json:"max"`
 }
 
-// HistogramSnapshot is the exported view of a histogram. The percentiles
-// are bucket-interpolated estimates (see Histogram.Percentile).
-type HistogramSnapshot struct {
+// BucketSnapshot is one cumulative histogram bucket: Count observations
+// had values <= LE (Prometheus "le" semantics; the in-memory power-of-two
+// buckets are half-open [lo, hi), so LE is hi-1 exclusive rounded to the
+// bucket's upper bound).
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
 	Count int64   `json:"count"`
-	Sum   int64   `json:"sum"`
-	Max   int64   `json:"max"`
-	Mean  float64 `json:"mean"`
-	P50   float64 `json:"p50"`
-	P95   float64 `json:"p95"`
-	P99   float64 `json:"p99"`
+}
+
+// HistogramSnapshot is the exported view of a histogram. The percentiles
+// are bucket-interpolated estimates (see Histogram.Percentile); Buckets
+// carry the non-empty power-of-two buckets cumulatively for native
+// Prometheus histogram exposition.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Max     int64            `json:"max"`
+	Mean    float64          `json:"mean"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
 }
 
 // MetricsSnapshot is the flat metrics export, keyed "component/name".
@@ -172,6 +197,7 @@ func (s *Sink) Metrics() MetricsSnapshot {
 				snap.P50 = h.Percentile(0.50)
 				snap.P95 = h.Percentile(0.95)
 				snap.P99 = h.Percentile(0.99)
+				snap.Buckets = h.Buckets()
 			}
 			m.Histograms[k.component+"/"+k.name] = snap
 		}

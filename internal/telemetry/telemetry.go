@@ -228,6 +228,28 @@ func (h *Histogram) MaxValue() int64 {
 	return h.max
 }
 
+// Buckets returns the non-empty buckets as cumulative counts with
+// Prometheus-style upper bounds, ascending. Bucket i's half-open range
+// [2^(i-1), 2^i) exports as le = 2^i (the smallest power-of-two bound not
+// below any member value under integer observations); bucket 0 as le = 0.
+// Returns nil for a nil or empty histogram.
+func (h *Histogram) Buckets() []BucketSnapshot {
+	if h == nil || h.count == 0 {
+		return nil
+	}
+	var out []BucketSnapshot
+	var cum int64
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := bucketBounds(i)
+		out = append(out, BucketSnapshot{LE: hi, Count: cum})
+	}
+	return out
+}
+
 // Sink is one telemetry collection domain: a metric registry plus a trace
 // buffer. The nil *Sink is valid and disabled: registration methods return
 // nil metrics/tracks whose methods are no-ops.

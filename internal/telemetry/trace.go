@@ -7,9 +7,12 @@ package telemetry
 
 // Phase bytes follow the Chrome trace-event format.
 const (
-	phComplete = 'X'
-	phInstant  = 'i'
-	phCounter  = 'C'
+	phComplete  = 'X'
+	phInstant   = 'i'
+	phCounter   = 'C'
+	phFlowStart = 's'
+	phFlowStep  = 't'
+	phFlowEnd   = 'f'
 )
 
 // maxArgs bounds per-event args so event records stay flat (no per-event
@@ -40,6 +43,7 @@ type Track struct {
 }
 
 // event is one recorded trace event; ts/dur are simulated picoseconds.
+// id carries the flow-binding identifier for flow phases ('s'/'t'/'f').
 type event struct {
 	pid   int
 	tid   int
@@ -47,6 +51,7 @@ type event struct {
 	name  string
 	ts    int64
 	dur   int64
+	id    int64
 	args  [maxArgs]Arg
 	nargs int
 }
@@ -137,16 +142,37 @@ func (t *Track) Counter(name string, tsPs, value int64) {
 	t.sink.record(e)
 }
 
+// FlowStart opens a flow arrow (Chrome phase 's') named name at tsPs,
+// bound to later FlowStep/FlowEnd events sharing id within the same run.
+// The request tracer uses flows to link one request's spans across the
+// firmware, flash-feeder and core tracks.
+func (t *Track) FlowStart(name string, tsPs, id int64) { t.flow(phFlowStart, name, tsPs, id) }
+
+// FlowStep continues a flow (phase 't') on this track at tsPs.
+func (t *Track) FlowStep(name string, tsPs, id int64) { t.flow(phFlowStep, name, tsPs, id) }
+
+// FlowEnd terminates a flow (phase 'f') on this track at tsPs.
+func (t *Track) FlowEnd(name string, tsPs, id int64) { t.flow(phFlowEnd, name, tsPs, id) }
+
+func (t *Track) flow(ph byte, name string, tsPs, id int64) {
+	if t == nil {
+		return
+	}
+	t.sink.record(event{pid: t.pid, tid: t.tid, ph: ph, name: name, ts: tsPs, id: id})
+}
+
 // TraceEvent is the read-side view of one recorded event, for tests and
 // programmatic consumers.
 type TraceEvent struct {
 	Run   string // run label (process name)
 	Track string // track name (thread name)
 	Name  string
-	Phase string // "X" (complete span), "i" (instant) or "C" (counter sample)
+	Phase string // "X" (span), "i" (instant), "C" (counter), "s"/"t"/"f" (flow)
 	TsPs  int64
 	DurPs int64 // 0 for instants
-	Args  map[string]int64
+	// FlowID is the flow-binding identifier for flow events (0 otherwise).
+	FlowID int64
+	Args   map[string]int64
 }
 
 // Events returns every recorded event in emission order.
@@ -166,12 +192,13 @@ func (s *Sink) Events() []TraceEvent {
 	out := make([]TraceEvent, 0, len(s.events))
 	for _, e := range s.events {
 		te := TraceEvent{
-			Run:   runLabel[e.pid],
-			Track: trackName[[2]int{e.pid, e.tid}],
-			Name:  e.name,
-			Phase: string(e.ph),
-			TsPs:  e.ts,
-			DurPs: e.dur,
+			Run:    runLabel[e.pid],
+			Track:  trackName[[2]int{e.pid, e.tid}],
+			Name:   e.name,
+			Phase:  string(e.ph),
+			TsPs:   e.ts,
+			DurPs:  e.dur,
+			FlowID: e.id,
 		}
 		if e.nargs > 0 {
 			te.Args = make(map[string]int64, e.nargs)

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Alloc-regression gate for the simulator's hot paths: the event queue and
 # the crossbar arbitration benchmarks must report exactly 0 allocs/op, and
-# the firmware steady-state guard test (which pins the whole
-# feeder -> crossbar -> stream-buffer page path) must pass. Any per-event or
-# per-page allocation that sneaks back in fails CI here with a benchmark
+# the firmware steady-state guard tests (which pin the whole
+# feeder -> crossbar -> stream-buffer page path, both with request tracing
+# disabled and with a live request record attached) must pass. Any per-event
+# or per-page allocation that sneaks back in fails CI here with a benchmark
 # name attached.
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,6 +22,7 @@ if [ -n "$bad" ]; then
 	exit 1
 fi
 
-go test ./internal/firmware/ -run 'TestDataPlaneSteadyStateZeroAlloc' -count 1
+go test ./internal/firmware/ -run 'TestDataPlaneSteadyStateZeroAlloc|TestReqtraceSteadyStateZeroAlloc' -count 1
+go test ./internal/telemetry/reqtrace/ -run 'TestSteadyStateZeroAlloc|TestNilZeroCost' -count 1
 
 echo "alloc-gate: hot paths are allocation-free"

@@ -23,32 +23,32 @@ done
 [ -n "$addr" ] || { echo "serve-smoke: no listen line"; cat "$out"; exit 1; }
 echo "serve-smoke: probing $addr"
 
-[ "$(curl -fsS "$addr/healthz")" = "ok" ] || { echo "serve-smoke: bad /healthz"; exit 1; }
-curl -fsS "$addr/readyz" >/dev/null || { echo "serve-smoke: bad /readyz"; exit 1; }
-
-# The fed-pages counter appears once the first run's snapshot is published;
-# poll until then (the server stays up for the whole -once experiment pass).
-ok=""
-for _ in $(seq 1 100); do
-    metrics=$(curl -fsS "$addr/metrics" 2>/dev/null || true)
-    if echo "$metrics" | grep -q '^assasin_fw_pages_fed_total [1-9]'; then
-        ok=1
-        break
-    fi
-    kill -0 "$pid" 2>/dev/null || break
-    sleep 0.1
-done
-[ -n "$ok" ] || {
-    echo "serve-smoke: /metrics never exposed assasin_fw_pages_fed_total"
-    echo "$metrics" | head -20
+# probe PATH PATTERN — poll the endpoint until the response matches,
+# retrying while the -once server is still up (run snapshots appear at run
+# boundaries, and on a loaded machine the whole quick pass is short).
+probe() {
+    body=""
+    for _ in $(seq 1 100); do
+        if body=$(curl -fsS "$addr$1" 2>/dev/null) && echo "$body" | grep -q "$2"; then
+            return 0
+        fi
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.05
+    done
+    echo "serve-smoke: $1 never matched $2"
+    echo "$body" | head -10
     exit 1
 }
-echo "$metrics" | grep -q '^assasin_serve_ready 1$' || { echo "serve-smoke: not ready"; exit 1; }
 
+probe /healthz '^ok$'
+probe /readyz .
+# The fed-pages counter appears once the first run's snapshot is published.
+probe /metrics '^assasin_fw_pages_fed_total [1-9]'
+probe /metrics '^assasin_serve_ready 1$'
 # At least one run has completed (its counter is in /metrics), so its
-# sampled timeline must be served too.
-tl=$(curl -fsS "$addr/runs/run-0001/timeline")
-echo "$tl" | grep -q '"times_ps"' || { echo "serve-smoke: /runs/run-0001/timeline is not a timeline"; echo "$tl" | head -5; exit 1; }
+# sampled timeline and request-trace summary must be served too.
+probe /runs/run-0001/timeline '"times_ps"'
+probe /runs/run-0001/requests '"critical_totals_ps"'
 
 wait "$pid" || { echo "serve-smoke: server failed"; cat "$out"; exit 1; }
 echo "serve-smoke: OK"
