@@ -1,6 +1,6 @@
 # Convenience entry points; every target is plain go tooling underneath.
 
-.PHONY: all build test race fuzz-smoke bench bench-baseline bench-compare diff-smoke alloc-gate profile ci
+.PHONY: all build test race fuzz-smoke bench bench-baseline bench-compare diff-smoke alloc-gate profile profile-smoke ci
 
 all: test
 
@@ -39,9 +39,15 @@ alloc-gate:
 	scripts/alloc-gate.sh
 
 # Per-experiment CPU/allocation profiles with top-10 cumulative tables
-# (profiles land in profiles/).
+# (profiles land in profiles/), plus the guest hot-block table per
+# experiment.
 profile:
 	scripts/profile.sh
+
+# Guest-profiler smoke: a tiny -kprof run whose pprof export must parse
+# with the real `go tool pprof` and symbolize to guest kernel pcs.
+profile-smoke:
+	scripts/profile-smoke.sh
 
 # The full continuous-integration gate (mirrored by the GitHub workflow).
 ci:
@@ -54,6 +60,7 @@ ci:
 	scripts/alloc-gate.sh
 	scripts/serve-smoke.sh
 	scripts/diff-smoke.sh
+	scripts/profile-smoke.sh
 
 # Quick micro-benchmark pass (3 samples; use bench-baseline for the
 # committed 5-sample baselines).

@@ -15,6 +15,7 @@
 //	assasin-bench -exp table2 -quick -timeline out/  # per-run sampled timelines
 //	assasin-bench -exp table2 -quick -report -diff  # Baseline-vs-AssasinSb deltas
 //	assasin-bench -exp table2 -quick -requests 4    # per-run slowest-request tables
+//	assasin-bench -exp table2 -quick -kprof 10 -kprof-dir out/  # guest hot blocks + pprof
 package main
 
 import (
@@ -38,6 +39,7 @@ import (
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
 	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
@@ -65,6 +67,8 @@ func main() {
 		diffRuns = flag.Bool("diff", false, "print per-kernel Baseline-vs-AssasinSb differential reports")
 		report   = flag.Bool("report", false, "print a per-run bottleneck-attribution report (parallel-safe)")
 		requests = flag.Int("requests", 0, "trace per-request critical paths and print the K slowest requests per run (0 = off; parallel-safe)")
+		kprofN   = flag.Int("kprof", 0, "profile guest kernels and print the N hottest basic blocks per experiment (0 = off; parallel-safe)")
+		kprofDir = flag.String("kprof-dir", "", "directory to write PROFILE_<exp>.json/.pb.gz merged guest profiles into (implies -kprof 10 when unset)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
@@ -79,6 +83,9 @@ func main() {
 
 	if err := experiments.ValidateOverrides(*cores, *parallel, *sf, *mb); err != nil {
 		fatal(err)
+	}
+	if *kprofDir != "" && *kprofN <= 0 {
+		*kprofN = 10
 	}
 	stop, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -159,6 +166,12 @@ func main() {
 		}
 	}
 	cfg.Requests = *requests
+	cfg.KProf = *kprofN > 0
+	if *kprofDir != "" {
+		if err := os.MkdirAll(*kprofDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	var coll *obs.Collector
 	if *report || *diffRuns {
 		coll = obs.NewCollector()
@@ -168,7 +181,7 @@ func main() {
 	// output is byte-identical for any -parallel setting (see drainRecords).
 	var recMu sync.Mutex
 	var pending []experiments.RunRecord
-	collectRecs := coll != nil || *requests > 0
+	collectRecs := coll != nil || *requests > 0 || *kprofN > 0
 	var curExp string
 	if collectRecs || *tlDir != "" {
 		cfg.OnRunDone = func(rec experiments.RunRecord) {
@@ -217,7 +230,7 @@ func main() {
 			recs := pending
 			pending = nil
 			recMu.Unlock()
-			drainRecords(name, recs, coll, cfg, *requests, *jsonDir)
+			drainRecords(name, recs, coll, cfg, *requests, *jsonDir, *kprofN, *kprofDir)
 		}
 		wall := time.Since(start).Seconds()
 		if *jsonDir != "" {
@@ -287,7 +300,7 @@ func fatal(err error) {
 // delta baseline (they already cover exactly one run); cumulative
 // shared-sink snapshots (-trace, which forces sequential runs) chain their
 // baselines in completion order before the sort, keeping deltas correct.
-func drainRecords(exp string, recs []experiments.RunRecord, coll *obs.Collector, cfg experiments.Config, requests int, jsonDir string) {
+func drainRecords(exp string, recs []experiments.RunRecord, coll *obs.Collector, cfg experiments.Config, requests int, jsonDir string, kprofN int, kprofDir string) {
 	type obsRun struct {
 		rec  *experiments.RunRecord
 		prev *telemetry.MetricsSnapshot
@@ -326,10 +339,29 @@ func drainRecords(exp string, recs []experiments.RunRecord, coll *obs.Collector,
 			if run.Metrics != nil {
 				run.Prev = r.prev
 			}
-			coll.ObserveRunData(run, r.rec.Timeline, r.rec.Requests)
+			coll.ObserveRunProfile(run, r.rec.Timeline, r.rec.Requests, r.rec.Profile)
 		}
 		if r.rec.Requests != nil {
 			sums = append(sums, r.rec.Requests)
+		}
+	}
+	if kprofN > 0 {
+		var profs []kprof.Labeled
+		for _, r := range runs {
+			if r.rec.Profile != nil {
+				profs = append(profs, kprof.Labeled{Label: r.rec.Profile.Label, Profile: r.rec.Profile})
+			}
+		}
+		if len(profs) > 0 {
+			merged := kprof.MergeLabeled(profs)
+			merged.Label = exp
+			fmt.Print(merged.FormatHotBlocks(kprofN))
+			if kprofDir != "" {
+				if err := writeMergedProfile(kprofDir, exp, merged); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("[profile: %s/PROFILE_%s.{json,pb.gz}, %d runs]\n", kprofDir, exp, len(profs))
+			}
 		}
 	}
 	if requests <= 0 || len(sums) == 0 {
@@ -354,6 +386,27 @@ func drainRecords(exp string, recs []experiments.RunRecord, coll *obs.Collector,
 		}
 		fmt.Printf("[requests: %s, %d runs]\n", path, len(sums))
 	}
+}
+
+// writeMergedProfile writes an experiment's merged guest profile as JSON
+// (diffable with assasin-diff) and gzipped pprof profile.proto.
+func writeMergedProfile(dir, exp string, p *kprof.Profile) error {
+	js, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "PROFILE_"+exp+".json"), append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "PROFILE_"+exp+".pb.gz"))
+	if err != nil {
+		return err
+	}
+	if err := p.WritePprof(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printArchDiffs emits one differential report per kernel that ran on both
@@ -382,7 +435,7 @@ func printArchDiffs(coll *obs.Collector) {
 			continue
 		}
 		side := func(rep *analyze.RunReport) diff.RunData {
-			return diff.RunData{Label: rep.Label, Report: rep, Timeline: coll.Timeline(rep.ID)}
+			return diff.RunData{Label: rep.Label, Report: rep, Timeline: coll.Timeline(rep.ID), Profile: coll.Profile(rep.ID)}
 		}
 		fmt.Print(diff.Compare(side(a), side(b)).Format())
 		fmt.Println()

@@ -1,16 +1,19 @@
 // Command assasin-diff compares two archived runs and prints a ranked
 // "what changed" differential report: duration and throughput ratios,
-// per-class core-time deltas, the largest counter movements, and — when
-// both sides carry timelines — phase-by-phase comparison.
+// per-class core-time deltas, the largest counter movements, guest basic-
+// block deltas when either side carries a kernel profile, and — when both
+// sides carry timelines — phase-by-phase comparison.
 //
 // Each side is a JSON file written by assasin-sim or assasin-bench: a flat
 // metrics snapshot (-metrics), a sampled timeline (-timeline), a single-run
-// attribution report, or a BENCH_<exp>.json envelope.
+// attribution report, a guest kernel profile (-kprof-dir profile.json),
+// or a BENCH_<exp>.json envelope.
 //
 // Usage:
 //
 //	assasin-diff baseline.json assasin-sb.json
 //	assasin-diff -json a.json b.json   # machine-readable report
+//	assasin-diff a/profile.json b/profile.json  # pc-level hot-block deltas
 package main
 
 import (

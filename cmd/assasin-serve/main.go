@@ -12,7 +12,8 @@
 //
 // Endpoints: /healthz, /readyz, /metrics, /runs, /runs/{id}/report,
 // /runs/{id}/timeline, /runs/{id}/requests, /runs/{id}/requests/{rid},
-// /runs/{id}/compare/{other}, /debug/pprof/. Scraping never perturbs
+// /runs/{id}/profile, /runs/{id}/profile.pb.gz (fetch and `go tool pprof`
+// it), /runs/{id}/compare/{other}, /debug/pprof/. Scraping never perturbs
 // simulation results: the sim goroutine publishes immutable snapshots at
 // run boundaries and the handlers only read published state.
 package main
@@ -49,6 +50,7 @@ func main() {
 		execMode = flag.String("exec", "compiled", "interpreter strategy: compiled (threaded code, default), fused, or precise (results are identical)")
 		once     = flag.Bool("once", false, "exit once the experiments finish instead of serving until interrupted")
 		requests = flag.Int("requests", 8, "retain the K slowest requests per run for /runs/{id}/requests (0 = off)")
+		kprofOn  = flag.Bool("kprof", true, "profile guest kernels per run for /runs/{id}/profile and /runs/{id}/profile.pb.gz")
 		logLevel = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 		version  = flag.Bool("version", false, "print version and build information, then exit")
 	)
@@ -108,10 +110,11 @@ func main() {
 	cfg.Workers = 1
 	cfg.Timeline = &timeline.Config{}
 	cfg.Requests = *requests
+	cfg.KProf = *kprofOn
 	coll := obs.NewCollector()
 	coll.SetBuildInfo(buildinfo.Get().PromLabels()...)
 	cfg.OnRunDone = func(rec experiments.RunRecord) {
-		coll.ObserveRunData(rec.AttributionRun(), rec.Timeline, rec.Requests)
+		coll.ObserveRunProfile(rec.AttributionRun(), rec.Timeline, rec.Requests, rec.Profile)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -11,13 +11,16 @@
 //	assasin-sim -kernel stat -timeline tl.json -report
 //	assasin-sim -kernel stat -requests 8 -requests-json reqs.json
 //	assasin-sim -arch AssasinSb -kernel stat -diff baseline-metrics.json
+//	assasin-sim -kernel stat -kprof 10 -kprof-dir prof/
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"assasin/internal/buildinfo"
@@ -30,6 +33,7 @@ import (
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
 	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
@@ -55,6 +59,8 @@ func main() {
 		diffPth  = flag.String("diff", "", "compare this run against a baseline JSON file (metrics, timeline, report, or BENCH envelope)")
 		report   = flag.Bool("report", false, "print the run's bottleneck-attribution report")
 		requests = flag.Int("requests", 0, "trace per-request critical paths and print the K slowest requests (0 = off)")
+		kprofN   = flag.Int("kprof", 0, "profile guest kernels and print the N hottest basic blocks (0 = off)")
+		kprofDir = flag.String("kprof-dir", "", "write profile.json, profile.folded and profile.pb.gz here (implies -kprof 10 when unset)")
 		reqJSON  = flag.String("requests-json", "", "write the request-trace summary as JSON (implies -requests 8 when unset)")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -69,6 +75,9 @@ func main() {
 	}
 	if *reqJSON != "" && *requests <= 0 {
 		*requests = 8
+	}
+	if *kprofDir != "" && *kprofN <= 0 {
+		*kprofN = 10
 	}
 
 	if *mb < 0 {
@@ -124,7 +133,11 @@ func main() {
 	if *requests > 0 {
 		tracer = reqtrace.New(tel, reqtrace.Config{TopK: *requests})
 	}
-	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, DataPlane: planeMode, Telemetry: tel, Timeline: sampler, Requests: tracer, Log: log})
+	var kp *kprof.Profiler
+	if *kprofN > 0 {
+		kp = kprof.New()
+	}
+	s := ssd.New(ssd.Options{Arch: arch, Cores: *cores, TimingAdjusted: *adjusted, Exec: mode, DataPlane: planeMode, Telemetry: tel, Timeline: sampler, Requests: tracer, KProf: kp, Log: log})
 	size := int(*mb * (1 << 20))
 	size -= size % 64
 	var lpaLists [][]int
@@ -204,6 +217,18 @@ func main() {
 	if *report {
 		fmt.Print(analyze.FormatReport(rep))
 	}
+	var guest *kprof.Profile
+	if kp != nil {
+		guest = kp.Snapshot()
+		guest.Label = label
+		fmt.Print(guest.FormatHotBlocks(*kprofN))
+		if *kprofDir != "" {
+			if err := writeKProf(*kprofDir, guest); err != nil {
+				fail(err)
+			}
+			fmt.Printf("  profile     %s/profile.{json,folded,pb.gz}\n", *kprofDir)
+		}
+	}
 	if tracer != nil {
 		sum := tracer.Summary(label)
 		if err := sum.WriteText(os.Stdout); err != nil {
@@ -248,13 +273,40 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		cur := diff.RunData{Label: label, Report: rep, Timeline: tl}
+		cur := diff.RunData{Label: label, Report: rep, Timeline: tl, Profile: guest}
 		if tel != nil {
 			snap := tel.Metrics()
 			cur.Metrics = &snap
 		}
 		fmt.Print(diff.Compare(other, cur).Format())
 	}
+}
+
+// writeKProf drops the three profile exports into dir: JSON (diffable with
+// assasin-diff), folded flamegraph text, and gzipped pprof profile.proto.
+func writeKProf(dir string, p *kprof.Profile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	js, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "profile.json"), append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "profile.folded"), []byte(p.Folded()), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "profile.pb.gz"))
+	if err != nil {
+		return err
+	}
+	if err := p.WritePprof(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseArch(name string) (ssd.Arch, error) {

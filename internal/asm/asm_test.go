@@ -1,7 +1,6 @@
 package asm
 
 import (
-	"strings"
 	"testing"
 
 	"assasin/internal/isa"
@@ -130,9 +129,15 @@ func TestDisassembleListsAll(t *testing.T) {
 	b := New()
 	b.Add(A0, A1, A2)
 	b.Halt()
-	d := b.MustBuild().Disassemble()
-	if !strings.Contains(d, "add a0, a1, a2") || !strings.Contains(d, "halt") {
-		t.Errorf("disassembly missing instructions:\n%s", d)
+	p := b.MustBuild()
+	// Golden: the pc column is part of the listing contract (the kprof
+	// symbolizer shares it via Line).
+	want := "   0: add a0, a1, a2\n   1: halt\n"
+	if d := p.Disassemble(); d != want {
+		t.Errorf("disassembly = %q, want %q", d, want)
+	}
+	if got := p.Line(1); got != "   1: halt" {
+		t.Errorf("Line(1) = %q", got)
 	}
 }
 

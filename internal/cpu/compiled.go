@@ -163,10 +163,10 @@ func (c *Core) countInst(cl isa.Class) {
 	c.stats.ByClass[cl]++
 }
 
-// streamRetire advances time for a pre-validated stream access exactly like
-// the fused loop path: busy one cycle, plus StreamExtraCycles charged to
-// kind.
-func (c *Core) streamRetire(t0 sim.Time, kind StallKind) {
+// streamRetire advances time for the pre-validated stream access at pc
+// exactly like the fused loop path: busy one cycle, plus StreamExtraCycles
+// charged to kind.
+func (c *Core) streamRetire(pc int, t0 sim.Time, kind StallKind) {
 	var extra sim.Time
 	if c.sys.StreamExtraCycles > 0 {
 		extra = c.sys.Clock.Cycles(int64(c.sys.StreamExtraCycles))
@@ -174,6 +174,9 @@ func (c *Core) streamRetire(t0 sim.Time, kind StallKind) {
 	}
 	period := c.cfg.Clock.Period
 	c.stats.BusyTime += period
+	if c.prof != nil {
+		c.prof.Record(pc, period, int(kind), extra)
+	}
 	c.at = t0 + extra + period
 }
 
@@ -191,7 +194,9 @@ func (c *Core) branchStep(vpc int, taken bool, delta int) int {
 		cycles = c.notTakenCycles
 	}
 	if cycles > 0 {
-		c.retireCycles(t0, cycles)
+		c.retireCycles(vpc, t0, cycles)
+	} else if c.prof != nil {
+		c.prof.Insts(vpc, 1)
 	}
 	c.countInst(isa.ClassBranch)
 	return nv
@@ -231,7 +236,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 		return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 			t0 := c.at
 			f(&c.regs)
-			c.retireCycles(t0, 1)
+			c.retireCycles(vpc, t0, 1)
 			c.countInst(isa.ClassALU)
 			return vpc + 1, ctlNext
 		}
@@ -242,7 +247,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 		return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 			t0 := c.at
 			c.setReg(inv.rd, c.mul(&inv))
-			c.retireCycles(t0, cycles)
+			c.retireCycles(vpc, t0, cycles)
 			c.countInst(isa.ClassMul)
 			return vpc + 1, ctlNext
 		}
@@ -253,7 +258,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 		return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 			t0 := c.at
 			c.setReg(inv.rd, c.div(&inv))
-			c.retireCycles(t0, cycles)
+			c.retireCycles(vpc, t0, cycles)
 			c.countInst(isa.ClassDiv)
 			return vpc + 1, ctlNext
 		}
@@ -281,7 +286,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 			}
 			c.setReg(rd, v)
 			c.stats.LoadBytes += int64(size)
-			c.retire(t0, r.Done, c.loadStallKind(addr))
+			c.retire(vpc, t0, r.Done, c.loadStallKind(addr))
 			c.countInst(isa.ClassLoad)
 			return vpc + 1, ctlNext
 		}
@@ -303,7 +308,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 				return vpc, ctlBlockedOut
 			}
 			c.stats.StoreBytes += int64(size)
-			c.retire(t0, r.Done, StallMem)
+			c.retire(vpc, t0, r.Done, StallMem)
 			c.countInst(isa.ClassStore)
 			return vpc + 1, ctlNext
 		}
@@ -348,7 +353,9 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 		if rd == 0 {
 			return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 				if c.jumpCycles > 0 {
-					c.retireCycles(c.at, c.jumpCycles)
+					c.retireCycles(vpc, c.at, c.jumpCycles)
+				} else if c.prof != nil {
+					c.prof.Insts(vpc, 1)
 				}
 				c.countInst(isa.ClassJump)
 				return vpc + delta, ctlNext
@@ -357,7 +364,9 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 		return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 			c.regs[rd] = uint32(vpc + 1)
 			if c.jumpCycles > 0 {
-				c.retireCycles(c.at, c.jumpCycles)
+				c.retireCycles(vpc, c.at, c.jumpCycles)
+			} else if c.prof != nil {
+				c.prof.Insts(vpc, 1)
 			}
 			c.countInst(isa.ClassJump)
 			return vpc + delta, ctlNext
@@ -374,7 +383,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 				v := c.sys.Streams.In[slot].LoadDirect(width)
 				c.setReg(rd, v)
 				c.stats.StreamInBytes += w64
-				c.streamRetire(t0, StallStreamWait)
+				c.streamRetire(vpc, t0, StallStreamWait)
 				c.countInst(isa.ClassStreamLoad)
 				return vpc + 1, ctlNext
 			}
@@ -384,7 +393,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 			t0 := c.at
 			v := c.sys.Streams.In[slot].PeekDirect(off, width)
 			c.setReg(rd, v)
-			c.streamRetire(t0, StallStreamWait)
+			c.streamRetire(vpc, t0, StallStreamWait)
 			c.countInst(isa.ClassStreamLoad)
 			return vpc + 1, ctlNext
 		}
@@ -398,7 +407,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 			t0 := c.at
 			c.sys.Streams.Out[slot].Append(c.regs[rs2], width)
 			c.stats.StreamOutBytes += w64
-			c.streamRetire(t0, StallOutFull)
+			c.streamRetire(vpc, t0, StallOutFull)
 			c.countInst(isa.ClassStreamStore)
 			return vpc + 1, ctlNext
 		}
@@ -415,7 +424,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 					c.fail(err)
 					return vpc, ctlHalted
 				}
-				c.retireCycles(t0, 1)
+				c.retireCycles(vpc, t0, 1)
 				c.countInst(isa.ClassStreamCtl)
 				return vpc + 1, ctlNext
 			}
@@ -428,7 +437,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 					v = 1
 				}
 				c.setReg(rd, v)
-				c.retireCycles(t0, 1)
+				c.retireCycles(vpc, t0, 1)
 				c.countInst(isa.ClassStreamCtl)
 				return vpc + 1, ctlNext
 			}
@@ -438,7 +447,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 				return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 					t0 := c.at
 					c.setReg(rd, uint32(c.sys.Streams.In[slot].Head()))
-					c.retireCycles(t0, 1)
+					c.retireCycles(vpc, t0, 1)
 					c.countInst(isa.ClassStreamCtl)
 					return vpc + 1, ctlNext
 				}
@@ -446,7 +455,7 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 			return func(c *Core, vpc int, _ sim.Time) (int, ctl) {
 				t0 := c.at
 				c.setReg(rd, uint32(c.sys.Streams.In[slot].Tail()))
-				c.retireCycles(t0, 1)
+				c.retireCycles(vpc, t0, 1)
 				c.countInst(isa.ClassStreamCtl)
 				return vpc + 1, ctlNext
 			}
@@ -458,6 +467,9 @@ func (c *Core) compileBodyElem(pc int) bodyFn {
 			c.halted = true
 			c.at += period
 			c.stats.BusyTime += period
+			if c.prof != nil {
+				c.prof.Record(vpc, period, int(StallExec), 0)
+			}
 			c.countInst(isa.ClassHalt)
 			c.pc = vpc
 			return vpc, ctlHalted
@@ -574,7 +586,14 @@ func seqALU(fns []aluFn) aluFn {
 		return func(r *regs) { f0(r); f1(r); f2(r); f3(r); f4(r) }
 	case 6:
 		f0, f1, f2, f3, f4, f5 := fns[0], fns[1], fns[2], fns[3], fns[4], fns[5]
-		return func(r *regs) { f0(r); f1(r); f2(r); f3(r); f4(r); f5(r) }
+		return func(r *regs) {
+			f0(r)
+			f1(r)
+			f2(r)
+			f3(r)
+			f4(r)
+			f5(r)
+		}
 	default:
 		mid := (len(fns) + 1) / 2
 		a, b := seqALU(fns[:mid]), seqALU(fns[mid:])

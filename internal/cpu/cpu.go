@@ -14,6 +14,7 @@ import (
 	"assasin/internal/memhier"
 	"assasin/internal/sim"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/kprof"
 )
 
 // Config sets a core's timing parameters.
@@ -172,6 +173,13 @@ type Core struct {
 	// tel, when non-nil, is the core's trace track; Run emits one "exec"
 	// span per dispatch slice on it (see AttachTelemetry).
 	tel *telemetry.Track
+
+	// kprofiler, when non-nil, is the attached guest-kernel profiler;
+	// prof is the per-program recording sink bound at LoadProgram. Every
+	// hook sits behind an `if c.prof != nil` guard so a detached core pays
+	// only nil-pointer branches (the zero-cost contract, like tel).
+	kprofiler *kprof.Profiler
+	prof      *kprof.CoreProfile
 }
 
 // New returns a core ready to Load a program.
@@ -246,6 +254,9 @@ func (c *Core) LoadProgram(p *asm.Program) {
 		}
 		c.decFrom = p
 	}
+	if c.kprofiler != nil {
+		c.prof = c.kprofiler.ForProgram(p, c.cfg.Clock.Period)
+	}
 	c.pc = 0
 	c.halted = false
 	c.err = nil
@@ -306,6 +317,21 @@ func (c *Core) AttachTelemetry(sink *telemetry.Sink) {
 	c.tel = sink.Track("cpu/" + c.cfg.Name)
 }
 
+// AttachKProf gives the core a guest-kernel profiler (nil detaches). The
+// per-program recording sink is (re)bound at every LoadProgram, so the
+// profiler sees all requests a core serves; value-sharing of cpu.StallKind
+// and kprof's stall indices lets the hooks pass kinds through unchanged.
+func (c *Core) AttachKProf(p *kprof.Profiler) {
+	c.kprofiler = p
+	if p == nil {
+		c.prof = nil
+		return
+	}
+	if c.decFrom != nil {
+		c.prof = p.ForProgram(c.decFrom, c.cfg.Clock.Period)
+	}
+}
+
 // Run implements sim.Process; the telemetry wrapper around the interpreter
 // proper (run) compiles to a nil-pointer branch when disabled.
 func (c *Core) Run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
@@ -339,6 +365,11 @@ func (c *Core) run(limit sim.Time) (sim.Time, sim.RunState, sim.Time) {
 		// the waited time is stall of the blocking kind.
 		if c.wakeAt > c.at {
 			c.stats.StallTime[c.blockKind] += c.wakeAt - c.at
+			if c.prof != nil {
+				// Blocked-wait: charged to the pc that will retry, with no
+				// instruction retired. All engines block at the same pc.
+				c.prof.Stall(c.pc, int(c.blockKind), c.wakeAt-c.at)
+			}
 			c.at = c.wakeAt
 		}
 		c.wakeAt = sim.MaxTime
@@ -411,27 +442,36 @@ func (c *Core) fail(err error) {
 	}
 }
 
-// retire advances time for an instruction that issued at t0 and completed
-// its data at done, charging any slack to kind.
-func (c *Core) retire(t0, done sim.Time, kind StallKind) {
+// retire advances time for the instruction at pc that issued at t0 and
+// completed its data at done, charging any slack to kind.
+func (c *Core) retire(pc int, t0, done sim.Time, kind StallKind) {
 	period := c.cfg.Clock.Period
 	end := t0 + period
 	c.stats.BusyTime += period
-	if done > t0 {
-		if done+period > end {
-			c.stats.StallTime[kind] += done + period - end
-			end = done + period
-		}
+	var stall sim.Time
+	if done > t0 && done+period > end {
+		stall = done + period - end
+		c.stats.StallTime[kind] += stall
+		end = done + period
+	}
+	if c.prof != nil {
+		c.prof.Record(pc, period, int(kind), stall)
 	}
 	c.at = end
 }
 
-// retireCycles advances time by 1 issue cycle + (cycles-1) execution cycles.
-func (c *Core) retireCycles(t0 sim.Time, cycles int) {
+// retireCycles advances time for the instruction at pc by 1 issue cycle +
+// (cycles-1) execution cycles.
+func (c *Core) retireCycles(pc int, t0 sim.Time, cycles int) {
 	period := c.cfg.Clock.Period
 	c.stats.BusyTime += period
+	var stall sim.Time
 	if cycles > 1 {
-		c.stats.StallTime[StallExec] += sim.Time(cycles-1) * period
+		stall = sim.Time(cycles-1) * period
+		c.stats.StallTime[StallExec] += stall
+	}
+	if c.prof != nil {
+		c.prof.Record(pc, period, int(StallExec), stall)
 	}
 	c.at = t0 + sim.Time(cycles)*period
 }
@@ -447,22 +487,23 @@ func (c *Core) setReg(r uint8, v uint32) {
 // after a wake.
 func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 	t0 := c.at
+	pc0 := c.pc
 	cl := in.class
 	switch cl {
 	case isa.ClassALU:
 		c.setReg(in.rd, c.alu(in))
 		c.pc++
-		c.retireCycles(t0, 1)
+		c.retireCycles(pc0, t0, 1)
 
 	case isa.ClassMul:
 		c.setReg(in.rd, c.mul(in))
 		c.pc++
-		c.retireCycles(t0, c.cfg.MulCycles)
+		c.retireCycles(pc0, t0, c.cfg.MulCycles)
 
 	case isa.ClassDiv:
 		c.setReg(in.rd, c.div(in))
 		c.pc++
-		c.retireCycles(t0, c.cfg.DivCycles)
+		c.retireCycles(pc0, t0, c.cfg.DivCycles)
 
 	case isa.ClassLoad:
 		addr := c.regs[in.rs1] + in.uimm
@@ -483,7 +524,7 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 		c.setReg(in.rd, v)
 		c.stats.LoadBytes += int64(size)
 		c.pc++
-		c.retire(t0, r.Done, c.loadStallKind(addr))
+		c.retire(pc0, t0, r.Done, c.loadStallKind(addr))
 
 	case isa.ClassStore:
 		addr := c.regs[in.rs1] + in.uimm
@@ -499,7 +540,7 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 		}
 		c.stats.StoreBytes += int64(size)
 		c.pc++
-		c.retire(t0, r.Done, StallMem)
+		c.retire(pc0, t0, r.Done, StallMem)
 
 	case isa.ClassBranch:
 		taken := c.branch(in)
@@ -512,7 +553,10 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 			cycles = c.notTakenCycles
 		}
 		if cycles > 0 {
-			c.retireCycles(t0, cycles)
+			c.retireCycles(pc0, t0, cycles)
+		} else if c.prof != nil {
+			// Zero-cycle taken branch (BranchFree): retired, no time.
+			c.prof.Insts(pc0, 1)
 		}
 
 	case isa.ClassJump:
@@ -524,7 +568,9 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 		}
 		c.setReg(in.rd, link)
 		if c.jumpCycles > 0 {
-			c.retireCycles(t0, c.jumpCycles)
+			c.retireCycles(pc0, t0, c.jumpCycles)
+		} else if c.prof != nil {
+			c.prof.Insts(pc0, 1)
 		}
 
 	case isa.ClassStreamLoad:
@@ -555,7 +601,7 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 			c.stats.StreamInBytes += int64(in.width)
 		}
 		c.pc++
-		c.retire(t0, r.Done, StallStreamWait)
+		c.retire(pc0, t0, r.Done, StallStreamWait)
 
 	case isa.ClassStreamStore:
 		r, err := c.sys.StreamStore(t0, int(in.stream), int(in.width), c.regs[in.rs2])
@@ -569,7 +615,7 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 		}
 		c.stats.StreamOutBytes += int64(in.width)
 		c.pc++
-		c.retire(t0, r.Done, StallOutFull)
+		c.retire(pc0, t0, r.Done, StallOutFull)
 
 	case isa.ClassStreamCtl:
 		switch in.op {
@@ -600,12 +646,15 @@ func (c *Core) step(in *decoded, period sim.Time) (blocked bool) {
 			c.setReg(in.rd, v)
 		}
 		c.pc++
-		c.retireCycles(t0, 1)
+		c.retireCycles(pc0, t0, 1)
 
 	case isa.ClassHalt:
 		c.halted = true
 		c.at = t0 + period
 		c.stats.BusyTime += period
+		if c.prof != nil {
+			c.prof.Record(pc0, period, int(StallExec), 0)
+		}
 
 	default:
 		c.fail(fmt.Errorf("cpu %s: unknown class for %v", c.cfg.Name, in.op))

@@ -239,6 +239,12 @@ func (c *Core) runALUBlock(pc, n int, limit sim.Time) int {
 	c.stats.BusyTime += nt
 	c.stats.Instructions += int64(n)
 	c.stats.ByClass[isa.ClassALU] += int64(n)
+	if c.prof != nil {
+		// One O(1) range update for the whole run; the snapshot's prefix
+		// sum spreads it back over [pc, pc+n) at one issue cycle each,
+		// exactly what precise stepping records.
+		c.prof.BulkALU(pc, n)
+	}
 	return pc + n
 }
 
@@ -399,6 +405,13 @@ func (c *Core) runLoop(li *loopInfo, limit sim.Time) loopExit {
 			c.stats.Instructions += (n + 1) * m
 			c.stats.ByClass[isa.ClassALU] += n * m
 			c.stats.ByClass[isa.ClassJump] += m
+			if c.prof != nil {
+				// m executions of the ALU body plus m zero-cycle back-edge
+				// jals (this batch only runs when jumpCycles == 0, where
+				// precise stepping records the jal as time-free too).
+				c.prof.BulkRange(li.head, li.end, m)
+				c.prof.Insts(li.end, m)
+			}
 			progress = true
 		}
 	}
@@ -455,6 +468,7 @@ iterations:
 			}
 			in := &dec[vpc]
 			t0 := c.at
+			pc0 := vpc
 			switch in.class {
 			case isa.ClassALU:
 				if n := aluRun[vpc]; n > 1 {
@@ -464,17 +478,17 @@ iterations:
 				}
 				c.setReg(in.rd, c.alu(in))
 				vpc++
-				c.retireCycles(t0, 1)
+				c.retireCycles(pc0, t0, 1)
 
 			case isa.ClassMul:
 				c.setReg(in.rd, c.mul(in))
 				vpc++
-				c.retireCycles(t0, c.cfg.MulCycles)
+				c.retireCycles(pc0, t0, c.cfg.MulCycles)
 
 			case isa.ClassDiv:
 				c.setReg(in.rd, c.div(in))
 				vpc++
-				c.retireCycles(t0, c.cfg.DivCycles)
+				c.retireCycles(pc0, t0, c.cfg.DivCycles)
 
 			case isa.ClassLoad:
 				addr := c.regs[in.rs1] + in.uimm
@@ -497,7 +511,7 @@ iterations:
 				c.setReg(in.rd, v)
 				c.stats.LoadBytes += int64(size)
 				vpc++
-				c.retire(t0, r.Done, c.loadStallKind(addr))
+				c.retire(pc0, t0, r.Done, c.loadStallKind(addr))
 
 			case isa.ClassStore:
 				addr := c.regs[in.rs1] + in.uimm
@@ -515,7 +529,7 @@ iterations:
 				}
 				c.stats.StoreBytes += int64(size)
 				vpc++
-				c.retire(t0, r.Done, StallMem)
+				c.retire(pc0, t0, r.Done, StallMem)
 
 			case isa.ClassBranch:
 				var cycles int
@@ -527,7 +541,9 @@ iterations:
 					cycles = c.notTakenCycles
 				}
 				if cycles > 0 {
-					c.retireCycles(t0, cycles)
+					c.retireCycles(pc0, t0, cycles)
+				} else if c.prof != nil {
+					c.prof.Insts(pc0, 1)
 				}
 
 			case isa.ClassJump: // OpJal only (validated by buildLoop)
@@ -535,7 +551,9 @@ iterations:
 				vpc += int(in.imm)
 				c.setReg(in.rd, link)
 				if c.jumpCycles > 0 {
-					c.retireCycles(t0, c.jumpCycles)
+					c.retireCycles(pc0, t0, c.jumpCycles)
+				} else if c.prof != nil {
+					c.prof.Insts(pc0, 1)
 				}
 
 			case isa.ClassStreamLoad:
@@ -553,6 +571,9 @@ iterations:
 				if extra > 0 {
 					c.stats.StallTime[StallStreamWait] += extra
 				}
+				if c.prof != nil {
+					c.prof.Record(pc0, period, int(StallStreamWait), extra)
+				}
 				c.at = t0 + extra + period
 
 			case isa.ClassStreamStore:
@@ -563,6 +584,9 @@ iterations:
 				c.stats.BusyTime += period
 				if extra > 0 {
 					c.stats.StallTime[StallOutFull] += extra
+				}
+				if c.prof != nil {
+					c.prof.Record(pc0, period, int(StallOutFull), extra)
 				}
 				c.at = t0 + extra + period
 
@@ -591,7 +615,7 @@ iterations:
 					}
 				}
 				vpc++
-				c.retireCycles(t0, 1)
+				c.retireCycles(pc0, t0, 1)
 
 			case isa.ClassHalt:
 				c.halted = true
@@ -599,6 +623,9 @@ iterations:
 				c.stats.BusyTime += period
 				c.stats.Instructions++
 				c.stats.ByClass[isa.ClassHalt]++
+				if c.prof != nil {
+					c.prof.Record(pc0, period, int(StallExec), 0)
+				}
 				c.pc = vpc
 				return loopHaltedExit
 			}

@@ -22,6 +22,7 @@ import (
 	"assasin/internal/sim"
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
@@ -81,6 +82,12 @@ type Config struct {
 	// RunRecord.Requests. Tracers are per-run (the per-run-sink pattern),
 	// so summaries are byte-identical across Workers settings.
 	Requests int
+	// KProf, when true, attaches a per-run guest-kernel profiler to every
+	// standalone run; the finished per-(kernel, basic block, pc)
+	// attribution is delivered on RunRecord.Profile. Profilers are
+	// per-run (the per-run-sink pattern), so profiles are byte-identical
+	// across Workers settings and Exec modes.
+	KProf bool
 	// OnRunDone, when non-nil, receives a record of every completed
 	// standalone run: label, per-core cycle decomposition, and (when
 	// Telemetry is set) the post-run metrics snapshot. It is invoked on
@@ -165,6 +172,8 @@ type runOpts struct {
 	timeline *timeline.Config
 	// requests, when > 0, attaches a per-run request tracer (top-K depth).
 	requests int
+	// kprof, when true, attaches a per-run guest-kernel profiler.
+	kprof bool
 	// onRunDone, when non-nil, receives the completed run's RunRecord
 	// (with a metrics snapshot when telemetry is set).
 	onRunDone func(RunRecord)
@@ -180,6 +189,7 @@ func (c Config) instrument(o runOpts) runOpts {
 	o.perRunTel = c.PerRunTelemetry
 	o.timeline = c.Timeline
 	o.requests = c.Requests
+	o.kprof = c.KProf
 	o.onRunDone = c.OnRunDone
 	o.log = c.Log
 	return o
@@ -220,6 +230,10 @@ func runStandalone(o runOpts) (*runResult, error) {
 	if o.requests > 0 {
 		tracer = reqtrace.New(tel, reqtrace.Config{TopK: o.requests})
 	}
+	var kp *kprof.Profiler
+	if o.kprof {
+		kp = kprof.New()
+	}
 	if o.log != nil {
 		o.log.Debug("run start", "run", label, "cores", o.cores, "arch", o.arch.String())
 	}
@@ -234,6 +248,7 @@ func runStandalone(o runOpts) (*runResult, error) {
 		Telemetry:      tel,
 		Timeline:       sampler,
 		Requests:       tracer,
+		KProf:          kp,
 		Log:            o.log,
 	})
 	var lpaLists [][]int
@@ -274,6 +289,10 @@ func runStandalone(o runOpts) (*runResult, error) {
 			CoreStats:  res.CoreStats,
 			Timeline:   sampler.Finish(label, int64(res.Duration)),
 			Requests:   tracer.Summary(label),
+		}
+		if kp != nil {
+			rec.Profile = kp.Snapshot()
+			rec.Profile.Label = label
 		}
 		if tel != nil {
 			snap := tel.Metrics()

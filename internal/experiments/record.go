@@ -6,6 +6,7 @@ import (
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
@@ -33,6 +34,10 @@ type RunRecord struct {
 	// Requests is the run's request-trace summary (per-request critical
 	// paths, top-K slowest), nil unless Config.Requests was set.
 	Requests *reqtrace.Summary
+	// Profile is the run's guest-kernel profile (per-pc cycle/stall
+	// attribution), nil unless Config.KProf was set. Its per-class totals
+	// sum exactly to AttributionRun's busy and stall times.
+	Profile *kprof.Profile
 }
 
 // AttributionRun converts the record into the analyze package's input,

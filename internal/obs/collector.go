@@ -19,6 +19,7 @@ import (
 
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
@@ -35,6 +36,7 @@ type Collector struct {
 	byID      map[string]*analyze.RunReport
 	timelines map[string]*timeline.Timeline
 	requests  map[string]*reqtrace.Summary
+	profiles  map[string]*kprof.Profile
 	buildInfo []promLabel
 }
 
@@ -44,6 +46,7 @@ func NewCollector() *Collector {
 		byID:      make(map[string]*analyze.RunReport),
 		timelines: make(map[string]*timeline.Timeline),
 		requests:  make(map[string]*reqtrace.Summary),
+		profiles:  make(map[string]*kprof.Profile),
 	}
 }
 
@@ -69,6 +72,13 @@ func (c *Collector) ObserveRunTimeline(run analyze.Run, tl *timeline.Timeline) *
 // the request summary is stored under the run's id and served at
 // /runs/{id}/requests and /runs/{id}/requests/{rid}.
 func (c *Collector) ObserveRunData(run analyze.Run, tl *timeline.Timeline, reqs *reqtrace.Summary) *analyze.RunReport {
+	return c.ObserveRunProfile(run, tl, reqs, nil)
+}
+
+// ObserveRunProfile is ObserveRunData for runs that also profiled the guest
+// kernels: the kprof profile is stored under the run's id and served at
+// /runs/{id}/profile (JSON) and /runs/{id}/profile.pb.gz (pprof).
+func (c *Collector) ObserveRunProfile(run analyze.Run, tl *timeline.Timeline, reqs *reqtrace.Summary, prof *kprof.Profile) *analyze.RunReport {
 	if c == nil {
 		return nil
 	}
@@ -89,6 +99,9 @@ func (c *Collector) ObserveRunData(run analyze.Run, tl *timeline.Timeline, reqs 
 	if reqs != nil {
 		c.requests[rep.ID] = reqs
 	}
+	if prof != nil {
+		c.profiles[rep.ID] = prof
+	}
 	if run.Metrics != nil {
 		c.snap = *run.Metrics
 	}
@@ -103,6 +116,16 @@ func (c *Collector) Requests(id string) *reqtrace.Summary {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.requests[id]
+}
+
+// Profile returns the guest-kernel profile stored under a run id, or nil.
+func (c *Collector) Profile(id string) *kprof.Profile {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.profiles[id]
 }
 
 // Timeline returns the timeline stored under a run id, or nil.

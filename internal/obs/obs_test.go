@@ -21,6 +21,7 @@ import (
 	"assasin/internal/obs"
 	"assasin/internal/ssd"
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/kprof"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden Prometheus exposition under testdata/")
@@ -331,6 +332,87 @@ func TestRequestsEndpoints(t *testing.T) {
 	}
 	if code, _ := get("/runs/run-0001/requests/notanumber"); code != http.StatusBadRequest {
 		t.Fatalf("malformed request id = %d, want 400", code)
+	}
+}
+
+// TestProfileEndpoints drives a kprof-instrumented run through the
+// collector and reads the guest profile back over HTTP, in both JSON and
+// pprof form, plus the 404/405 negative paths.
+func TestProfileEndpoints(t *testing.T) {
+	c := obs.NewCollector()
+	cfg := experiments.Config{
+		KernelMB: 0.125, AESKB: 16, ScanMB: 1, TPCHScale: 0.001,
+		Cores: 2, Workers: 1, KProf: true,
+		OnRunDone: func(rec experiments.RunRecord) {
+			c.ObserveRunProfile(rec.AttributionRun(), rec.Timeline, rec.Requests, rec.Profile)
+		},
+	}
+	if _, err := experiments.Fig13(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// An un-profiled run: its id must 404 on the profile endpoints.
+	bare := c.ObserveRun(experiments.RunRecord{Label: "bare"}.AttributionRun())
+	c.MarkReady()
+	srv := httptest.NewServer(obs.NewHandler(c))
+	defer srv.Close()
+
+	get := func(path string) (int, http.Header, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header, b
+	}
+
+	code, _, body := get("/runs/run-0001/profile")
+	if code != http.StatusOK {
+		t.Fatalf("/runs/run-0001/profile = %d: %s", code, body)
+	}
+	var prof kprof.Profile
+	if err := json.Unmarshal(body, &prof); err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Kernels) == 0 {
+		t.Fatalf("profile has no kernels: %s", body)
+	}
+	insts, busy, _, _, _, _ := prof.Totals()
+	if insts == 0 || busy == 0 {
+		t.Fatalf("profile totals empty: insts %d busy %d", insts, busy)
+	}
+
+	code, hdr, raw := get("/runs/run-0001/profile.pb.gz")
+	if code != http.StatusOK {
+		t.Fatalf("/runs/run-0001/profile.pb.gz = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("pb.gz content type = %q", ct)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Errorf("pb.gz payload is not gzip (starts %x)", raw[:min(4, len(raw))])
+	}
+
+	if code, _, _ := get("/runs/run-9999/profile"); code != http.StatusNotFound {
+		t.Fatalf("unknown run profile = %d, want 404", code)
+	}
+	if code, _, _ := get("/runs/" + bare.ID + "/profile"); code != http.StatusNotFound {
+		t.Fatalf("un-profiled run = %d, want 404", code)
+	}
+	if code, _, _ := get("/runs/" + bare.ID + "/profile.pb.gz"); code != http.StatusNotFound {
+		t.Fatalf("un-profiled run pb.gz = %d, want 404", code)
+	}
+	resp, err := http.Post(srv.URL+"/runs/run-0001/profile", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST profile = %d, want 405", resp.StatusCode)
 	}
 }
 

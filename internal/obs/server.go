@@ -32,6 +32,8 @@ type runSummary struct {
 //	/runs/{id}/timeline       the run's sampled timeline (404 when not sampled)
 //	/runs/{id}/requests       the run's request-trace summary (404 when not traced)
 //	/runs/{id}/requests/{rid} one retained slow request's full causal record
+//	/runs/{id}/profile        the run's guest-kernel profile (404 when not profiled)
+//	/runs/{id}/profile.pb.gz  the same profile as gzipped pprof profile.proto
 //	/runs/{id}/compare/{other} differential report between two runs
 //	/debug/pprof/*            the standard Go profiling endpoints
 //
@@ -107,6 +109,23 @@ func NewHandler(c *Collector) http.Handler {
 		}
 		writeJSON(w, req)
 	})
+	mux.HandleFunc("GET /runs/{id}/profile", func(w http.ResponseWriter, r *http.Request) {
+		prof := c.Profile(r.PathValue("id"))
+		if prof == nil {
+			http.Error(w, "unknown run or no profile", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, prof)
+	})
+	mux.HandleFunc("GET /runs/{id}/profile.pb.gz", func(w http.ResponseWriter, r *http.Request) {
+		prof := c.Profile(r.PathValue("id"))
+		if prof == nil {
+			http.Error(w, "unknown run or no profile", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		prof.WritePprof(w)
+	})
 	mux.HandleFunc("GET /runs/{id}/compare/{other}", func(w http.ResponseWriter, r *http.Request) {
 		a, b := r.PathValue("id"), r.PathValue("other")
 		repA, repB := c.Report(a), c.Report(b)
@@ -115,14 +134,15 @@ func NewHandler(c *Collector) http.Handler {
 			return
 		}
 		writeJSON(w, diff.Compare(
-			diff.RunData{Label: repA.Label, Report: repA, Timeline: c.Timeline(a)},
-			diff.RunData{Label: repB.Label, Report: repB, Timeline: c.Timeline(b)},
+			diff.RunData{Label: repA.Label, Report: repA, Timeline: c.Timeline(a), Profile: c.Profile(a)},
+			diff.RunData{Label: repB.Label, Report: repB, Timeline: c.Timeline(b), Profile: c.Profile(b)},
 		))
 	})
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "assasin-serve endpoints:\n"+
 			"  /healthz\n  /readyz\n  /metrics\n  /runs\n  /runs/{id}/report\n"+
 			"  /runs/{id}/timeline\n  /runs/{id}/requests\n  /runs/{id}/requests/{rid}\n"+
+			"  /runs/{id}/profile\n  /runs/{id}/profile.pb.gz\n"+
 			"  /runs/{id}/compare/{other}\n  /debug/pprof/\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

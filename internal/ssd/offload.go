@@ -130,6 +130,9 @@ func (s *SSD) BuildTasks(run KernelRun) ([]TaskSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Name the shared program so statistics and kprof symbolization can
+	// label samples with the kernel.
+	prog.Name = k.Name()
 	state := k.State()
 
 	// Partition dataset 0 and apply the same record split to all inputs

@@ -20,6 +20,7 @@ import (
 	"assasin/internal/sim"
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
 	"assasin/internal/telemetry/timeline"
 )
@@ -157,6 +158,13 @@ type Options struct {
 	// belongs to this SSD's simulation goroutine. Nil disables request
 	// tracing at nil-pointer-branch cost.
 	Requests *reqtrace.Tracer
+	// KProf, when non-nil, attaches the guest-kernel profiler to every
+	// compute core: each retired instruction's issue cycle and every
+	// stall is attributed to its (kernel, pc), with the compiled/fused
+	// engines recording bulk ALU dispatches as O(1) range updates. Like
+	// Telemetry, the profiler belongs to this SSD's simulation goroutine.
+	// Nil disables profiling at nil-pointer-branch cost.
+	KProf *kprof.Profiler
 	// Log, when non-nil, receives offload lifecycle events: request
 	// submission and completion at Debug level. Handlers must be
 	// goroutine-safe when SSDs run concurrently.
@@ -347,6 +355,9 @@ func New(opt Options) *SSD {
 		if opt.Telemetry != nil {
 			eng.AttachTelemetry(opt.Telemetry)
 			sys.Streams.AttachTel(s.streamTel)
+		}
+		if opt.KProf != nil {
+			eng.AttachKProf(opt.KProf)
 		}
 		if opt.CoreQuantum > 0 {
 			s.Sched.SetQuantum(eng, opt.CoreQuantum)

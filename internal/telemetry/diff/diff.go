@@ -20,6 +20,7 @@ import (
 
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -33,6 +34,10 @@ type RunData struct {
 	Report   *analyze.RunReport
 	Metrics  *telemetry.MetricsSnapshot
 	Timeline *timeline.Timeline
+	// Profile is the guest kernel profile (kprof); when either side has
+	// one, the report gains per-basic-block time deltas — the class story
+	// retold at pc granularity.
+	Profile *kprof.Profile
 }
 
 // ClassDelta is one stall class's change in summed core time.
@@ -60,6 +65,18 @@ type CounterDelta struct {
 	// counter that doubled outranks one that moved 1% by the same absolute
 	// amount.
 	score float64
+}
+
+// BlockDelta is one guest basic block's change in attributed core time.
+// Key is "kernel [start,end)"; blocks present on only one side compare
+// against zero.
+type BlockDelta struct {
+	Key     string `json:"key"`
+	APs     int64  `json:"a_ps"`
+	BPs     int64  `json:"b_ps"`
+	DeltaPs int64  `json:"delta_ps"`
+	AInsts  int64  `json:"a_insts"`
+	BInsts  int64  `json:"b_insts"`
 }
 
 // PhaseSummary is one side's phase in the comparison.
@@ -102,11 +119,17 @@ type Report struct {
 	Counters []CounterDelta `json:"counters,omitempty"`
 	// Phases compares the two timelines' segmentations when both exist.
 	Phases *PhaseComparison `json:"phases,omitempty"`
+	// Blocks ranks guest basic-block time deltas when either side carried
+	// a kprof profile (top MaxBlocks survive).
+	Blocks []BlockDelta `json:"blocks,omitempty"`
 }
 
 // MaxCounters bounds the ranked counter table; everything below the cut is
 // omitted from the report (the full snapshots remain in the input files).
 const MaxCounters = 20
+
+// MaxBlocks bounds the ranked guest-block table.
+const MaxBlocks = 12
 
 // classTimes extracts per-class core time for one side, preferring the
 // report's exact accounting over the published gauges.
@@ -177,6 +200,9 @@ func Compare(a, b RunData) *Report {
 	rep.Counters = counterDeltas(counters(a), counters(b))
 	if a.Timeline != nil && b.Timeline != nil {
 		rep.Phases = comparePhases(a.Timeline, b.Timeline)
+	}
+	if a.Profile != nil || b.Profile != nil {
+		rep.Blocks = blockDeltas(a.Profile, b.Profile)
 	}
 
 	switch {
@@ -278,6 +304,57 @@ func counterDeltas(a, b map[string]int64) []CounterDelta {
 	return out
 }
 
+// blockStats flattens one profile into a per-block map keyed by
+// "kernel [start,end)".
+func blockStats(p *kprof.Profile) map[string]BlockDelta {
+	if p == nil {
+		return nil
+	}
+	out := make(map[string]BlockDelta)
+	for _, k := range p.Kernels {
+		for _, blk := range k.Blocks {
+			key := fmt.Sprintf("%s [%d,%d)", k.Kernel, blk.Start, blk.End)
+			d := out[key]
+			d.Key = key
+			d.APs += blk.TotalPs()
+			d.AInsts += blk.Insts
+			out[key] = d
+		}
+	}
+	return out
+}
+
+// blockDeltas ranks guest basic blocks by |delta| of attributed time,
+// key-order breaking ties. One-sided blocks (a kernel only one run
+// executed) compare against zero.
+func blockDeltas(a, b *kprof.Profile) []BlockDelta {
+	as, bs := blockStats(a), blockStats(b)
+	keys := make(map[string]bool, len(as)+len(bs))
+	for k := range as {
+		keys[k] = true
+	}
+	for k := range bs {
+		keys[k] = true
+	}
+	var out []BlockDelta
+	for k := range keys {
+		d := BlockDelta{Key: k, APs: as[k].APs, BPs: bs[k].APs, AInsts: as[k].AInsts, BInsts: bs[k].AInsts}
+		d.DeltaPs = d.BPs - d.APs
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := abs64(out[i].DeltaPs), abs64(out[j].DeltaPs)
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > MaxBlocks {
+		out = out[:MaxBlocks]
+	}
+	return out
+}
+
 // comparePhases summarizes both segmentations and ranks per-class phase-
 // duration changes.
 func comparePhases(a, b *timeline.Timeline) *PhaseComparison {
@@ -360,6 +437,14 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "    %-32s%14s%14s%14s%9s\n", "counter", "a", "b", "delta", "ratio")
 		for _, d := range r.Counters {
 			fmt.Fprintf(&b, "    %-32s%14d%14d%+14d%9s\n", d.Key, d.A, d.B, d.Delta, ratioCell(d))
+		}
+	}
+	if len(r.Blocks) > 0 {
+		fmt.Fprintf(&b, "  guest hot blocks (top %d by |delta|):\n", len(r.Blocks))
+		fmt.Fprintf(&b, "    %-36s%14s%14s%14s%12s%12s\n", "block", "a", "b", "delta", "a-insts", "b-insts")
+		for _, d := range r.Blocks {
+			fmt.Fprintf(&b, "    %-36s%14s%14s%14s%12d%12d\n",
+				d.Key, fmtPs(d.APs), fmtPs(d.BPs), signedPs(d.DeltaPs), d.AInsts, d.BInsts)
 		}
 	}
 	if r.Phases != nil {

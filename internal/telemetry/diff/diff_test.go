@@ -15,6 +15,7 @@ import (
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
 	"assasin/internal/telemetry/diff"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -234,6 +235,79 @@ func TestLoadFileAutodetects(t *testing.T) {
 	}
 	if _, err := diff.LoadFile(filepath.Join(dir, "junk.json")); err == nil {
 		t.Error("unrecognized JSON shape should fail to load")
+	}
+}
+
+// statProfile runs Stat with a guest profiler attached and snapshots it.
+func statProfile(t *testing.T, arch ssd.Arch) *kprof.Profile {
+	t.Helper()
+	kp := kprof.New()
+	s := ssd.New(ssd.Options{Arch: arch, Cores: 2, KProf: kp})
+	data := statWords(16<<10, 7)
+	lpas, err := s.InstallBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunKernel(ssd.KernelRun{
+		Kernel:     kernels.Stat{},
+		Inputs:     [][]int{lpas},
+		InputBytes: []int64{int64(len(data))},
+		RecordSize: 4,
+		Cores:      2,
+		OutKind:    firmware.OutDiscard,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	prof := kp.Snapshot()
+	prof.Label = "Stat/" + arch.String()
+	return prof
+}
+
+// TestCompareGuestBlocks pins the pc-granularity retelling of the class
+// story: comparing profiled Baseline and AssasinSb Stat runs must yield a
+// ranked per-block table, and a profile JSON written to disk must load back
+// as a comparison side.
+func TestCompareGuestBlocks(t *testing.T) {
+	a := statProfile(t, ssd.Baseline)
+	b := statProfile(t, ssd.AssasinSb)
+	rep := diff.Compare(
+		diff.RunData{Label: a.Label, Profile: a},
+		diff.RunData{Label: b.Label, Profile: b},
+	)
+	if len(rep.Blocks) == 0 {
+		t.Fatal("profiled sides produced no block deltas")
+	}
+	top := rep.Blocks[0]
+	if !strings.HasPrefix(top.Key, "stat [") {
+		t.Errorf("top block key = %q, want a stat block", top.Key)
+	}
+	if top.DeltaPs == 0 {
+		t.Errorf("top block delta is zero: %+v", top)
+	}
+	for i := 1; i < len(rep.Blocks); i++ {
+		if abs(rep.Blocks[i].DeltaPs) > abs(rep.Blocks[i-1].DeltaPs) {
+			t.Errorf("blocks not ranked by |delta|: %+v", rep.Blocks)
+		}
+	}
+	if !strings.Contains(rep.Format(), "guest hot blocks") {
+		t.Error("formatted report lacks the guest hot blocks section")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "profile.json")
+	jb, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, jb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	side, err := diff.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if side.Profile == nil || side.Label != a.Label {
+		t.Errorf("profile load: label %q, profile nil=%v", side.Label, side.Profile == nil)
 	}
 }
 

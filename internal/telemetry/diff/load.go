@@ -9,6 +9,7 @@ import (
 
 	"assasin/internal/telemetry"
 	"assasin/internal/telemetry/analyze"
+	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -22,6 +23,8 @@ import (
 //     embedded "telemetry" snapshot, which must be present
 //   - a single attribution report, or a BENCH_report.json array holding
 //     exactly one: "classes" + "label"
+//   - a guest kernel profile (-kprof-dir profile.json or the serve
+//     /runs/{id}/profile payload): "kernels" — compares per-block times
 //
 // The label defaults to the file's base name when the payload carries none.
 func LoadFile(path string) (RunData, error) {
@@ -84,6 +87,12 @@ func decode(b []byte) (RunData, error) {
 			return RunData{}, err
 		}
 		return RunData{Label: tl.Run, Timeline: &tl}, nil
+	case probe["kernels"] != nil:
+		var prof kprof.Profile
+		if err := json.Unmarshal(b, &prof); err != nil {
+			return RunData{}, err
+		}
+		return RunData{Label: prof.Label, Profile: &prof}, nil
 	case probe["classes"] != nil && probe["label"] != nil:
 		var rep analyze.RunReport
 		if err := json.Unmarshal(b, &rep); err != nil {
@@ -97,6 +106,6 @@ func decode(b []byte) (RunData, error) {
 		}
 		return RunData{Metrics: &snap}, nil
 	default:
-		return RunData{}, fmt.Errorf("unrecognized JSON shape (expected a metrics snapshot, timeline, BENCH envelope, or attribution report)")
+		return RunData{}, fmt.Errorf("unrecognized JSON shape (expected a metrics snapshot, timeline, BENCH envelope, attribution report, or kernel profile)")
 	}
 }

@@ -5,7 +5,9 @@
 # feeder -> crossbar -> stream-buffer page path, both with request tracing
 # disabled and with a live request record attached) must pass. Any per-event
 # or per-page allocation that sneaks back in fails CI here with a benchmark
-# name attached.
+# name attached. The guest-profiler guard rides along: with no kprof
+# profiler attached, all three exec engines must stay allocation-free per
+# Run slice (the disabled half of the kprof zero-cost contract).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -24,5 +26,6 @@ fi
 
 go test ./internal/firmware/ -run 'TestDataPlaneSteadyStateZeroAlloc|TestReqtraceSteadyStateZeroAlloc' -count 1
 go test ./internal/telemetry/reqtrace/ -run 'TestSteadyStateZeroAlloc|TestNilZeroCost' -count 1
+go test ./internal/cpu/ -run 'TestKProfDisabledZeroAlloc' -count 1
 
 echo "alloc-gate: hot paths are allocation-free"

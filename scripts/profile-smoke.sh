@@ -1,0 +1,37 @@
+#!/bin/sh
+# Guest-profiler smoke test: run a tiny Stat workload with -kprof, then
+# check that the exported profile.pb.gz is a pprof profile `go tool pprof`
+# actually parses, with a non-empty guest kernel symbol as the top frame,
+# and that the hot-block table made it to stdout. This keeps the hand-rolled
+# profile.proto encoder honest against the real pprof toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/assasin-sim" ./cmd/assasin-sim
+out=$("$DIR/assasin-sim" -kernel stat -mb 0.25 -kprof 5 -kprof-dir "$DIR/prof")
+
+echo "$out" | grep -q '^GUEST HOT BLOCKS' || {
+	echo "profile-smoke: no GUEST HOT BLOCKS table in sim output" >&2
+	echo "$out" >&2
+	exit 1
+}
+for f in profile.json profile.folded profile.pb.gz; do
+	[ -s "$DIR/prof/$f" ] || { echo "profile-smoke: $f missing or empty" >&2; exit 1; }
+done
+
+top=$(go tool pprof -top "$DIR/prof/profile.pb.gz")
+echo "$top" | head -8
+# The top flat frame must be a symbolized guest pc ("stat: <pc>: <disasm>").
+echo "$top" | grep -q 'stat: [0-9]*: ' || {
+	echo "profile-smoke: pprof top frames are not symbolized guest pcs" >&2
+	echo "$top" >&2
+	exit 1
+}
+grep -q '^stat;stat: ' "$DIR/prof/profile.folded" || {
+	echo "profile-smoke: folded output lacks stat frames" >&2
+	exit 1
+}
+echo "profile-smoke: OK"

@@ -2,11 +2,14 @@
 # Per-experiment simulator profiling: runs each experiment at the quick scale
 # with CPU and allocation profiling enabled and prints a top-10 cumulative
 # table for both profiles, so hot-path regressions in the data plane show up
-# as a function name, not a wall-time delta.
+# as a function name, not a wall-time delta. The guest side rides along:
+# each run also carries -kprof, so the simulated kernels' ten hottest basic
+# blocks print next to the host tables (host cost and guest cost, same page).
 #
 # Usage: scripts/profile.sh [experiment ...]       (default: all experiments)
 #
-# Profiles land in profiles/<exp>.{cpu,mem}.pprof for deeper digging with
+# Profiles land in profiles/<exp>.{cpu,mem}.pprof plus the guest profile in
+# profiles/PROFILE_<exp>.{json,pb.gz} for deeper digging with
 # `go tool pprof -http`.
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,12 +24,14 @@ go build -o "$BIN" ./cmd/assasin-bench
 for exp in $EXPS; do
 	cpu="$OUT/$exp.cpu.pprof"
 	mem="$OUT/$exp.mem.pprof"
-	"./$BIN" -quick -exp "$exp" -parallel 1 \
-		-cpuprofile "$cpu" -memprofile "$mem" >/dev/null
+	out=$("./$BIN" -quick -exp "$exp" -parallel 1 \
+		-cpuprofile "$cpu" -memprofile "$mem" \
+		-kprof 10 -kprof-dir "$OUT")
 	echo "=== $exp: top-10 CPU (cumulative) ==="
 	go tool pprof -top -cum -nodecount=10 "$BIN" "$cpu" | sed '/^Showing nodes/,$!d'
 	echo "=== $exp: top-10 allocations (alloc_space, cumulative) ==="
 	go tool pprof -top -cum -nodecount=10 -sample_index=alloc_space "$BIN" "$mem" | sed '/^Showing nodes/,$!d'
-	echo
+	echo "=== $exp: top-10 guest basic blocks (simulated time) ==="
+	printf '%s\n' "$out" | sed -n '/^GUEST HOT BLOCKS/,/^$/p'
 done
 echo "profile: raw profiles in $OUT/ (go tool pprof -http=: $BIN $OUT/<exp>.cpu.pprof)"

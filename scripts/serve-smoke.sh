@@ -46,9 +46,21 @@ probe /readyz .
 probe /metrics '^assasin_fw_pages_fed_total [1-9]'
 probe /metrics '^assasin_serve_ready 1$'
 # At least one run has completed (its counter is in /metrics), so its
-# sampled timeline and request-trace summary must be served too.
+# sampled timeline, request-trace summary, and guest kernel profile must be
+# served too.
 probe /runs/run-0001/timeline '"times_ps"'
 probe /runs/run-0001/requests '"critical_totals_ps"'
+probe /runs/run-0001/profile '"kernels"'
+
+# Negative paths: unknown runs 404, wrong methods 405.
+expect_code() {
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X "$1" "$addr$2")
+    [ "$code" = "$3" ] || { echo "serve-smoke: $1 $2 returned $code, want $3"; exit 1; }
+}
+expect_code GET /runs/run-9999/profile 404
+expect_code GET /runs/run-9999/report 404
+expect_code POST /runs/run-0001/profile 405
+expect_code POST /runs/run-0001/report 405
 
 wait "$pid" || { echo "serve-smoke: server failed"; cat "$out"; exit 1; }
 echo "serve-smoke: OK"
