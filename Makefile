@@ -20,7 +20,7 @@ test: build
 # summary, is a release blocker.
 race:
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
-	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane|TestRequestsParallelDeterminism'
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane|TestRequestsParallelDeterminism|TestLoadParallelDeterminism'
 
 # A short bounded differential-fuzz pass over the three execution engines;
 # the checked-in corpus under internal/cpu/testdata/fuzz seeds it with
@@ -55,7 +55,7 @@ ci:
 	go build ./...
 	go test ./...
 	go test -race ./internal/cpu/... ./internal/memhier/... ./internal/sim/... ./internal/telemetry/... ./internal/obs/... ./internal/runpool/...
-	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane|TestRequestsParallelDeterminism'
+	go test -race ./internal/experiments/ -run 'TestExecFusedMatchesPrecise|TestExecEquivalenceWithCoreQuantum|TestDataPlane|TestRequestsParallelDeterminism|TestLoadParallelDeterminism'
 	go test ./internal/cpu/ -run '^$$' -fuzz FuzzExecEquivalence -fuzztime 10s
 	scripts/alloc-gate.sh
 	scripts/serve-smoke.sh

@@ -41,6 +41,7 @@ import (
 	"assasin/internal/telemetry/diff"
 	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
+	"assasin/internal/telemetry/slo"
 	"assasin/internal/telemetry/timeline"
 )
 
@@ -69,6 +70,8 @@ func main() {
 		requests = flag.Int("requests", 0, "trace per-request critical paths and print the K slowest requests per run (0 = off; parallel-safe)")
 		kprofN   = flag.Int("kprof", 0, "profile guest kernels and print the N hottest basic blocks per experiment (0 = off; parallel-safe)")
 		kprofDir = flag.String("kprof-dir", "", "directory to write PROFILE_<exp>.json/.pb.gz merged guest profiles into (implies -kprof 10 when unset)")
+		loadSpec = flag.String("load", "", "open-loop load overrides for the load experiment, semicolon-separated key=value (requests, rate, tenants, read, pages, keys, zipfs, zipfv, drives, seed, offloadmb, offloadtenant, window, buckets)")
+		sloSpec  = flag.String("slo", "", "SLO objectives as tenant:target[:latency], comma-separated (e.g. 'gold:99.9:400us,all:99:1ms'); empty uses per-tenant defaults")
 		logLevel = flag.String("log-level", "warn", "log verbosity: debug, info, warn, error")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocs heap profile to this file on exit")
@@ -128,6 +131,24 @@ func main() {
 		fatal(err)
 	}
 	cfg.DataPlane = planeMode
+
+	lc := experiments.DefaultLoad()
+	if *quick {
+		lc = experiments.QuickLoad()
+	}
+	if *loadSpec != "" {
+		if lc, err = experiments.ParseLoadSpec(*loadSpec, lc); err != nil {
+			fatal(err)
+		}
+	}
+	if *sloSpec != "" {
+		objs, err := slo.ParseSpec(*sloSpec)
+		if err != nil {
+			fatal(err)
+		}
+		lc.Objectives = objs
+	}
+	cfg.Load = &lc
 
 	if *tlIvalUs <= 0 {
 		fatal(fmt.Errorf("-timeline-interval-us must be > 0, got %g", *tlIvalUs))
@@ -233,6 +254,14 @@ func main() {
 			drainRecords(name, recs, coll, cfg, *requests, *jsonDir, *kprofN, *kprofDir)
 		}
 		wall := time.Since(start).Seconds()
+		if lr, ok := rows.(*experiments.LoadResult); ok && *jsonDir != "" {
+			if err := writeSLOArtifact(*jsonDir, name, lr); err != nil {
+				fmt.Fprintf(os.Stderr, "assasin-bench: %s: %v\n", name, err)
+				stopProfiles()
+				os.Exit(1)
+			}
+			fmt.Printf("[slo: %s, %d drives]\n", filepath.Join(*jsonDir, "SLO_"+name+".json"), len(lr.Drives))
+		}
 		if *jsonDir != "" {
 			var snap *telemetry.MetricsSnapshot
 			if tel != nil {
@@ -386,6 +415,17 @@ func drainRecords(exp string, recs []experiments.RunRecord, coll *obs.Collector,
 		}
 		fmt.Printf("[requests: %s, %d runs]\n", path, len(sums))
 	}
+}
+
+// writeSLOArtifact writes a load experiment's full SLO result — per-drive
+// objective statuses with alert history, live window snapshots, and the
+// per-tenant sustained-rate/P99 table — as SLO_<exp>.json.
+func writeSLOArtifact(dir, exp string, lr *experiments.LoadResult) error {
+	b, err := json.MarshalIndent(lr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "SLO_"+exp+".json"), append(b, '\n'), 0o644)
 }
 
 // writeMergedProfile writes an experiment's merged guest profile as JSON

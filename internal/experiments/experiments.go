@@ -97,6 +97,9 @@ type Config struct {
 	// Log, when non-nil, receives run lifecycle events (start/finish at
 	// Debug/Info). Handlers must be goroutine-safe when Workers > 1.
 	Log *slog.Logger `json:"-"`
+	// Load overrides the open-loop load experiment's workload (nil selects
+	// DefaultLoad). cmd flags (-load, -slo) land here.
+	Load *LoadConfig `json:"-"`
 }
 
 // workers returns the effective pool width for fan-out sites.

@@ -125,6 +125,16 @@ func (rn *Runner) Run(name string, cfg Config) (any, string, error) {
 			return nil, "", err
 		}
 		return rows, FormatFig13("Fig 21 (timing-adjusted)", rows), nil
+	case "load":
+		lc := DefaultLoad()
+		if cfg.Load != nil {
+			lc = *cfg.Load
+		}
+		r, err := RunLoad(cfg, lc)
+		if err != nil {
+			return nil, "", err
+		}
+		return r, FormatLoad(r), nil
 	case "table5":
 		t := FormatTable5(cfg.Cores)
 		return t, t, nil

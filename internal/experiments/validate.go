@@ -11,7 +11,7 @@ func ExperimentIDs() []string {
 	return []string{
 		"table2", "table4", "fig5", "fig13", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig19", "fig20", "fig21", "table5", "fig22",
-		"ablation",
+		"ablation", "load",
 	}
 }
 

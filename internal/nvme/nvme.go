@@ -53,15 +53,21 @@ type IORequest struct {
 	// Data is the payload for writes (page-sized chunks; short final page
 	// allowed). For reads it is ignored.
 	Data []byte
+	// Tenant tags the request's trace record for per-tenant SLO accounting.
+	Tenant string
+	// Discard drops the read payload instead of retaining it in the
+	// completion — open-loop load runs issue hundreds of thousands of reads
+	// whose bytes nobody inspects.
+	Discard bool
 }
 
 // IOCompletion reports a finished conventional command.
 type IOCompletion struct {
-	Req      IORequest
-	Done     sim.Time
-	Latency  sim.Time
-	Data     []byte // read payload
-	Err      error
+	Req     IORequest
+	Done    sim.Time
+	Latency sim.Time
+	Data    []byte // read payload
+	Err     error
 }
 
 // Config sets host-link parameters.
@@ -96,92 +102,118 @@ func New(drive *ssd.SSD, cfg Config) *Controller {
 	}
 }
 
+// execute services one conventional command whose submission event fired at
+// now, filling slot with the completion. It traces the command end to end
+// (Begin at submission, per-leg path stages, Complete or Abort).
+func (c *Controller) execute(req IORequest, slot *IOCompletion, now sim.Time) {
+	ps := c.drive.Opt.Flash.PageSize
+	tracer := c.drive.Opt.Requests
+	// RequestIDs are assigned at submission; the event fires exactly
+	// at SubmitAt, and event order is deterministic, so IDs are too.
+	tr := tracer.Begin("io-"+req.Op.String(), "", int64(now))
+	tr.SetTenant(req.Tenant)
+	switch req.Op {
+	case OpRead:
+		var done sim.Time
+		var payload []byte
+		// Chain legs of the slowest page: flash read, DRAM stage,
+		// host-link transfer. The chain is contiguous from submission
+		// (now -> d -> staged -> out), so the legs sum exactly to the
+		// command latency.
+		var critFlash, critDRAM, critLink sim.Time
+		for p := 0; p < req.Pages; p++ {
+			data, d, err := c.drive.FTL.Read(now, req.LPA+p)
+			if err != nil {
+				slot.Err = err
+				tracer.Abort(tr)
+				return
+			}
+			if !req.Discard {
+				payload = append(payload, data...)
+			}
+			// Staged in DRAM, then out over the host link.
+			staged := c.drive.DRAM.Access(d, ps, true, "host-read")
+			out := c.link.Access(staged, ps)
+			if out > done {
+				done = out
+				critFlash, critDRAM, critLink = d-now, staged-d, out-staged
+			}
+		}
+		if tr != nil {
+			tr.AddPathStage(reqtrace.ClassFlashWait, int64(critFlash))
+			tr.AddPathStage(reqtrace.ClassDRAMWait, int64(critDRAM))
+			tr.AddPathStage(reqtrace.ClassHostLink, int64(critLink))
+		}
+		slot.Data = payload
+		slot.Done = done
+		slot.Latency = done - req.SubmitAt
+		tracer.Complete(tr, int64(done))
+	case OpWrite:
+		var done sim.Time
+		var critLink, critDRAM, critFlash sim.Time
+		for p := 0; p < req.Pages; p++ {
+			lo := p * ps
+			hi := lo + ps
+			var chunk []byte
+			if lo < len(req.Data) {
+				if hi > len(req.Data) {
+					hi = len(req.Data)
+				}
+				chunk = req.Data[lo:hi]
+			}
+			in := c.link.Access(now, ps)
+			staged := c.drive.DRAM.Access(in, ps, true, "host-write")
+			busDone, _, err := c.drive.FTL.Write(staged, req.LPA+p, chunk)
+			if err != nil {
+				slot.Err = err
+				tracer.Abort(tr)
+				return
+			}
+			if busDone > done {
+				done = busDone
+				critLink, critDRAM, critFlash = in-now, staged-in, busDone-staged
+			}
+		}
+		if tr != nil {
+			tr.AddPathStage(reqtrace.ClassHostLink, int64(critLink))
+			tr.AddPathStage(reqtrace.ClassDRAMWait, int64(critDRAM))
+			tr.AddPathStage(reqtrace.ClassFlashWait, int64(critFlash))
+		}
+		slot.Done = done
+		slot.Latency = done - req.SubmitAt
+		tracer.Complete(tr, int64(done))
+	default:
+		slot.Err = fmt.Errorf("nvme: opcode %v not valid as conventional IO", req.Op)
+		tracer.Abort(tr)
+	}
+}
+
+// Submit schedules one conventional command as a firmware event at
+// req.SubmitAt. onDone (if non-nil) is invoked from that event with the
+// finished completion — arrival generators use it to account results without
+// retaining a completion slice. The drive's event queue must be driven (via
+// RunOffload or RunUntil) for the event to fire.
+func (c *Controller) Submit(req IORequest, onDone func(IOCompletion)) {
+	c.drive.Sched.Events.Schedule(req.SubmitAt, func(now sim.Time) {
+		var slot IOCompletion
+		slot.Req = req
+		c.execute(req, &slot, now)
+		if onDone != nil {
+			onDone(slot)
+		}
+	})
+}
+
 // scheduleIO queues the conventional commands as firmware events on the
 // SSD's scheduler and returns the slice completions will be written to.
 func (c *Controller) scheduleIO(reqs []IORequest) []IOCompletion {
 	completions := make([]IOCompletion, len(reqs))
-	ps := c.drive.Opt.Flash.PageSize
-	tracer := c.drive.Opt.Requests
 	for i := range reqs {
 		req := reqs[i]
 		completions[i].Req = req
 		slot := &completions[i]
 		c.drive.Sched.Events.Schedule(req.SubmitAt, func(now sim.Time) {
-			// RequestIDs are assigned at submission; the event fires exactly
-			// at SubmitAt, and event order is deterministic, so IDs are too.
-			tr := tracer.Begin("io-"+req.Op.String(), "", int64(now))
-			switch req.Op {
-			case OpRead:
-				var done sim.Time
-				var payload []byte
-				// Chain legs of the slowest page: flash read, DRAM stage,
-				// host-link transfer. The chain is contiguous from submission
-				// (now -> d -> staged -> out), so the legs sum exactly to the
-				// command latency.
-				var critFlash, critDRAM, critLink sim.Time
-				for p := 0; p < req.Pages; p++ {
-					data, d, err := c.drive.FTL.Read(now, req.LPA+p)
-					if err != nil {
-						slot.Err = err
-						tracer.Abort(tr)
-						return
-					}
-					payload = append(payload, data...)
-					// Staged in DRAM, then out over the host link.
-					staged := c.drive.DRAM.Access(d, ps, true, "host-read")
-					out := c.link.Access(staged, ps)
-					if out > done {
-						done = out
-						critFlash, critDRAM, critLink = d-now, staged-d, out-staged
-					}
-				}
-				if tr != nil {
-					tr.AddPathStage(reqtrace.ClassFlashWait, int64(critFlash))
-					tr.AddPathStage(reqtrace.ClassDRAMWait, int64(critDRAM))
-					tr.AddPathStage(reqtrace.ClassHostLink, int64(critLink))
-				}
-				slot.Data = payload
-				slot.Done = done
-				slot.Latency = done - req.SubmitAt
-				tracer.Complete(tr, int64(done))
-			case OpWrite:
-				var done sim.Time
-				var critLink, critDRAM, critFlash sim.Time
-				for p := 0; p < req.Pages; p++ {
-					lo := p * ps
-					hi := lo + ps
-					var chunk []byte
-					if lo < len(req.Data) {
-						if hi > len(req.Data) {
-							hi = len(req.Data)
-						}
-						chunk = req.Data[lo:hi]
-					}
-					in := c.link.Access(now, ps)
-					staged := c.drive.DRAM.Access(in, ps, true, "host-write")
-					busDone, _, err := c.drive.FTL.Write(staged, req.LPA+p, chunk)
-					if err != nil {
-						slot.Err = err
-						tracer.Abort(tr)
-						return
-					}
-					if busDone > done {
-						done = busDone
-						critLink, critDRAM, critFlash = in-now, staged-in, busDone-staged
-					}
-				}
-				if tr != nil {
-					tr.AddPathStage(reqtrace.ClassHostLink, int64(critLink))
-					tr.AddPathStage(reqtrace.ClassDRAMWait, int64(critDRAM))
-					tr.AddPathStage(reqtrace.ClassFlashWait, int64(critFlash))
-				}
-				slot.Done = done
-				slot.Latency = done - req.SubmitAt
-				tracer.Complete(tr, int64(done))
-			default:
-				slot.Err = fmt.Errorf("nvme: opcode %v not valid as conventional IO", req.Op)
-				tracer.Abort(tr)
-			}
+			c.execute(req, slot, now)
 		})
 	}
 	return completions

@@ -21,7 +21,9 @@ import (
 	"assasin/internal/telemetry/analyze"
 	"assasin/internal/telemetry/kprof"
 	"assasin/internal/telemetry/reqtrace"
+	"assasin/internal/telemetry/slo"
 	"assasin/internal/telemetry/timeline"
+	"assasin/internal/telemetry/window"
 )
 
 // Collector accumulates completed-run reports and the latest metrics
@@ -38,6 +40,8 @@ type Collector struct {
 	requests  map[string]*reqtrace.Summary
 	profiles  map[string]*kprof.Profile
 	buildInfo []promLabel
+	sloStatus *slo.Status
+	liveSnap  *window.Snapshot
 }
 
 // NewCollector returns an empty enabled collector.
@@ -170,6 +174,53 @@ func (c *Collector) Snapshot() telemetry.MetricsSnapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.snap
+}
+
+// PublishSLO replaces the latest SLO status (served at /slo and exported
+// as assasin_slo_* series). The status must be immutable once published;
+// slo.Engine.Status builds a fresh value per call, satisfying this by
+// construction. The simulation goroutine publishes at burn-evaluation
+// boundaries, so scrapers watch objectives and alerts move in sim time.
+func (c *Collector) PublishSLO(st *slo.Status) {
+	if c == nil || st == nil {
+		return
+	}
+	c.mu.Lock()
+	c.sloStatus = st
+	c.mu.Unlock()
+}
+
+// SLOStatus returns the latest published SLO status, or nil when no load
+// run has published one yet.
+func (c *Collector) SLOStatus() *slo.Status {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sloStatus
+}
+
+// PublishLive replaces the latest live window snapshot (served at /live):
+// rolling per-tenant request rates and latency percentiles over the
+// sliding window. Same immutability contract as PublishSLO.
+func (c *Collector) PublishLive(snap *window.Snapshot) {
+	if c == nil || snap == nil {
+		return
+	}
+	c.mu.Lock()
+	c.liveSnap = snap
+	c.mu.Unlock()
+}
+
+// LiveSnapshot returns the latest published live window snapshot, or nil.
+func (c *Collector) LiveSnapshot() *window.Snapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveSnap
 }
 
 // Reports returns the completed-run reports in completion order. The slice

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"assasin/internal/telemetry"
+	"assasin/internal/telemetry/slo"
 )
 
 // Prometheus text-format exposition of a telemetry snapshot. Metric names
@@ -76,6 +77,54 @@ func WritePrometheus(w io.Writer, snap telemetry.MetricsSnapshot) error {
 	return bw.Flush()
 }
 
+// writeSLOProm renders the latest published SLO status as labeled
+// assasin_slo_* series. Objectives appear in configuration order and
+// alerts in rule order, so the exposition is deterministic for a given
+// published status.
+func writeSLOProm(w io.Writer, st *slo.Status) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# TYPE assasin_slo_now_picoseconds gauge\nassasin_slo_now_picoseconds %d\n", st.NowPs)
+	fmt.Fprintf(bw, "# TYPE assasin_slo_good_total counter\n")
+	for _, o := range st.Objectives {
+		fmt.Fprintf(bw, "assasin_slo_good_total{objective=%q,tenant=%q} %d\n", o.Name, o.Tenant, o.Good)
+	}
+	fmt.Fprintf(bw, "# TYPE assasin_slo_bad_total counter\n")
+	for _, o := range st.Objectives {
+		fmt.Fprintf(bw, "assasin_slo_bad_total{objective=%q,tenant=%q} %d\n", o.Name, o.Tenant, o.Bad)
+	}
+	fmt.Fprintf(bw, "# TYPE assasin_slo_error_budget_remaining gauge\n")
+	for _, o := range st.Objectives {
+		fmt.Fprintf(bw, "assasin_slo_error_budget_remaining{objective=%q,tenant=%q} %s\n",
+			o.Name, o.Tenant, promFloat(o.BudgetRemaining))
+	}
+	fmt.Fprintf(bw, "# TYPE assasin_slo_window_p99_picoseconds gauge\n")
+	for _, o := range st.Objectives {
+		fmt.Fprintf(bw, "assasin_slo_window_p99_picoseconds{objective=%q,tenant=%q} %s\n",
+			o.Name, o.Tenant, promFloat(o.P99Ps))
+	}
+	fmt.Fprintf(bw, "# TYPE assasin_slo_burn_rate gauge\n")
+	for _, o := range st.Objectives {
+		for _, a := range o.Alerts {
+			fmt.Fprintf(bw, "assasin_slo_burn_rate{objective=%q,rule=%q,window=\"long\"} %s\n",
+				o.Name, a.Rule, promFloat(a.BurnLong))
+			fmt.Fprintf(bw, "assasin_slo_burn_rate{objective=%q,rule=%q,window=\"short\"} %s\n",
+				o.Name, a.Rule, promFloat(a.BurnShort))
+		}
+	}
+	fmt.Fprintf(bw, "# TYPE assasin_slo_alert_firing gauge\n")
+	for _, o := range st.Objectives {
+		for _, a := range o.Alerts {
+			firing := 0
+			if a.Firing {
+				firing = 1
+			}
+			fmt.Fprintf(bw, "assasin_slo_alert_firing{objective=%q,rule=%q,severity=%q} %d\n",
+				o.Name, a.Rule, a.Severity, firing)
+		}
+	}
+	return bw.Flush()
+}
+
 // promLabel is one label pair on the build-info gauge.
 type promLabel struct{ key, val string }
 
@@ -122,6 +171,11 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "} 1\n"); err != nil {
 				return err
 			}
+		}
+	}
+	if st := c.SLOStatus(); st != nil {
+		if err := writeSLOProm(w, st); err != nil {
+			return err
 		}
 	}
 	ready := 0

@@ -27,6 +27,8 @@ type runSummary struct {
 //	/healthz            liveness (always 200 once serving)
 //	/readyz             readiness (503 until MarkReady)
 //	/metrics            Prometheus text format, latest published snapshot
+//	/slo                latest published SLO status (404 until a load run publishes)
+//	/live               latest published live window snapshot (404 until published)
 //	/runs                     JSON list of completed runs
 //	/runs/{id}/report         one run's full attribution report
 //	/runs/{id}/timeline       the run's sampled timeline (404 when not sampled)
@@ -54,6 +56,22 @@ func NewHandler(c *Collector) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		st := c.SLOStatus()
+		if st == nil {
+			http.Error(w, "no SLO status published (run the load experiment)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /live", func(w http.ResponseWriter, r *http.Request) {
+		snap := c.LiveSnapshot()
+		if snap == nil {
+			http.Error(w, "no live snapshot published (run the load experiment)", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap)
 	})
 	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
 		reports := c.Reports()
@@ -140,7 +158,7 @@ func NewHandler(c *Collector) http.Handler {
 	})
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "assasin-serve endpoints:\n"+
-			"  /healthz\n  /readyz\n  /metrics\n  /runs\n  /runs/{id}/report\n"+
+			"  /healthz\n  /readyz\n  /metrics\n  /slo\n  /live\n  /runs\n  /runs/{id}/report\n"+
 			"  /runs/{id}/timeline\n  /runs/{id}/requests\n  /runs/{id}/requests/{rid}\n"+
 			"  /runs/{id}/profile\n  /runs/{id}/profile.pb.gz\n"+
 			"  /runs/{id}/compare/{other}\n  /debug/pprof/\n")

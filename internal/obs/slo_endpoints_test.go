@@ -1,0 +1,138 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"assasin/internal/experiments"
+	"assasin/internal/obs"
+	"assasin/internal/telemetry/slo"
+	"assasin/internal/telemetry/window"
+)
+
+// TestSLOEndpoints drives a real open-loop load run publishing through
+// the collector at every burn-evaluation boundary, then reads the final
+// published state back over HTTP: /slo and /live JSON shapes, the
+// assasin_slo_* Prometheus series, and the 404s before anything is
+// published.
+func TestSLOEndpoints(t *testing.T) {
+	c := obs.NewCollector()
+	srv := httptest.NewServer(obs.NewHandler(c))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	// Nothing published yet: both endpoints 404 and /metrics carries no
+	// SLO series.
+	if code, _ := get("/slo"); code != http.StatusNotFound {
+		t.Fatalf("/slo before publish = %d, want 404", code)
+	}
+	if code, _ := get("/live"); code != http.StatusNotFound {
+		t.Fatalf("/live before publish = %d, want 404", code)
+	}
+	if _, body := get("/metrics"); strings.Contains(body, "assasin_slo_") {
+		t.Fatal("/metrics carries SLO series before any publish")
+	}
+
+	cfg := experiments.Quick()
+	cfg.Cores = 4
+	lc := experiments.QuickLoad()
+	lc.Drives = 1
+	lc.Requests = 1200
+	published := 0
+	lc.OnEval = func(drive int, st *slo.Status, live *window.Snapshot) {
+		c.PublishSLO(st)
+		c.PublishLive(live)
+		published++
+	}
+	if _, err := experiments.RunLoad(cfg, lc); err != nil {
+		t.Fatal(err)
+	}
+	if published == 0 {
+		t.Fatal("load run published nothing")
+	}
+
+	code, body := get("/slo")
+	if code != http.StatusOK {
+		t.Fatalf("/slo = %d %q", code, body)
+	}
+	var st slo.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.NowPs == 0 || len(st.Objectives) == 0 {
+		t.Fatalf("published status = %+v", st)
+	}
+	for _, o := range st.Objectives {
+		if o.Good == 0 || len(o.Alerts) == 0 {
+			t.Fatalf("objective %q saw no traffic or has no alert rules: %+v", o.Name, o)
+		}
+	}
+
+	code, body = get("/live")
+	if code != http.StatusOK {
+		t.Fatalf("/live = %d %q", code, body)
+	}
+	var snap window.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.NowPs != st.NowPs {
+		t.Fatalf("live snapshot at %d, status at %d (published together, must agree)", snap.NowPs, st.NowPs)
+	}
+	if len(snap.Rates) == 0 || len(snap.Hists) == 0 {
+		t.Fatalf("live snapshot empty: %+v", snap)
+	}
+
+	_, body = get("/metrics")
+	for _, want := range []string{
+		"# TYPE assasin_slo_good_total counter",
+		"# TYPE assasin_slo_bad_total counter",
+		"# TYPE assasin_slo_error_budget_remaining gauge",
+		"# TYPE assasin_slo_burn_rate gauge",
+		"# TYPE assasin_slo_alert_firing gauge",
+		`assasin_slo_alert_firing{objective="all",rule="fast-burn",severity="page"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The index advertises the new endpoints.
+	if _, body := get("/"); !strings.Contains(body, "/slo") || !strings.Contains(body, "/live") {
+		t.Fatalf("index missing /slo or /live:\n%s", body)
+	}
+}
+
+// TestSLOPublishNil pins the nil-safety contract: publishing nil values
+// or publishing on a nil collector must be a no-op, not a panic.
+func TestSLOPublishNil(t *testing.T) {
+	var nilC *obs.Collector
+	nilC.PublishSLO(&slo.Status{})
+	nilC.PublishLive(&window.Snapshot{})
+	if nilC.SLOStatus() != nil || nilC.LiveSnapshot() != nil {
+		t.Fatal("nil collector returned state")
+	}
+	c := obs.NewCollector()
+	c.PublishSLO(nil)
+	c.PublishLive(nil)
+	if c.SLOStatus() != nil || c.LiveSnapshot() != nil {
+		t.Fatal("nil publish stored state")
+	}
+}

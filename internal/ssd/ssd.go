@@ -169,6 +169,11 @@ type Options struct {
 	// submission and completion at Debug level. Handlers must be
 	// goroutine-safe when SSDs run concurrently.
 	Log *slog.Logger
+	// OnAdvance, when non-nil, is chained onto the scheduler's dispatch
+	// hook (after the timeline tick, when both are set) with the committed
+	// sim horizon in picoseconds. Sliding-window aggregators and the SLO
+	// engine hook here; nil disables at nil-pointer-branch cost.
+	OnAdvance func(nowPs int64)
 }
 
 // DefaultFlashConfig is the evaluation geometry: 8 channels × 1 GB/s,
@@ -201,11 +206,16 @@ type SSD struct {
 	nextDataLPA int
 	streamTel   *memhier.StreamTel // shared stream-buffer bundle; nil when disabled
 	reqLabel    string             // label for the next traced offload request
+	reqTenant   string             // tenant for the next traced offload request
 }
 
 // SetRequestLabel names the next offload request in the request trace
 // (RunKernel sets the kernel name; nvme sets the opcode). Cleared after use.
 func (s *SSD) SetRequestLabel(label string) { s.reqLabel = label }
+
+// SetRequestTenant tags the next offload request's trace record with a
+// tenant for per-tenant SLO accounting. Cleared after use.
+func (s *SSD) SetRequestTenant(tenant string) { s.reqTenant = tenant }
 
 // New assembles an SSD.
 func New(opt Options) *SSD {
@@ -260,8 +270,18 @@ func New(opt Options) *SSD {
 		s.streamTel = memhier.NewStreamTel(tel)
 	}
 	if tl := opt.Timeline; tl != nil {
-		s.Sched.OnAdvance = tl.Tick
 		tl.AddProbe(s.classProbe)
+	}
+	switch tl, oa := opt.Timeline, opt.OnAdvance; {
+	case tl != nil && oa != nil:
+		s.Sched.OnAdvance = func(nowPs int64) {
+			tl.Tick(nowPs)
+			oa(nowPs)
+		}
+	case tl != nil:
+		s.Sched.OnAdvance = tl.Tick
+	case oa != nil:
+		s.Sched.OnAdvance = oa
 	}
 
 	coreClock := sim.NewClock(1e9)
@@ -559,7 +579,8 @@ func (s *SSD) RunOffload(tasks []TaskSpec, deadline sim.Time) (*Result, error) {
 
 	start := s.Sched.Now()
 	req := s.Opt.Requests.Begin("offload", s.reqLabel, int64(start))
-	s.reqLabel = ""
+	req.SetTenant(s.reqTenant)
+	s.reqLabel, s.reqTenant = "", ""
 	engine.Req = req
 	// Per-core baselines at submission: cumulative stats and local clocks,
 	// so the request's core-side accounting is an exact delta.

@@ -60,14 +60,20 @@ func TestPercentileBucketBoundaries(t *testing.T) {
 func TestPercentileInterpolatesWithinBucket(t *testing.T) {
 	// 100 samples of 1000 and 100 of 3000: buckets [512,1024) and
 	// [2048,4096). P25 is halfway through the first bucket's count:
-	// 512 + 0.5*512 = 768.
+	// 512 + 0.5*512 = 768, clamped up to the observed minimum 1000 (no
+	// sample is smaller, so no quantile may report smaller).
 	h := &Histogram{}
 	for i := 0; i < 100; i++ {
 		h.Observe(1000)
 		h.Observe(3000)
 	}
-	if got := h.Percentile(0.25); got != 768 {
-		t.Fatalf("P25 = %v, want 768", got)
+	if got := h.Percentile(0.25); got != 1000 {
+		t.Fatalf("P25 = %v, want 1000 (clamped to min)", got)
+	}
+	// P60 lands 20% into the second bucket: 2048 + 0.2*2048 = 2457.6 —
+	// inside [min, max], so interpolation is untouched.
+	if got := h.Percentile(0.60); math.Abs(got-2457.6) > 0.01 {
+		t.Fatalf("P60 = %v, want 2457.6", got)
 	}
 	// P75 is halfway through the second bucket: 2048 + 0.5*2048 = 3072,
 	// clamped to the max 3000.
@@ -113,6 +119,58 @@ func TestPercentileTopBucketNoOverflow(t *testing.T) {
 	}
 	if h.Percentile(1) != float64(math.MaxInt64) {
 		t.Fatalf("P100 = %v, want observed max", h.Percentile(1))
+	}
+}
+
+func TestPercentileBoundaryQuantiles(t *testing.T) {
+	// q=0 and q=1 must pin the observed extremes exactly, even when the
+	// extremes sit mid-bucket.
+	h := &Histogram{}
+	for _, v := range []int64{100, 500, 900} { // buckets [64,128), [256,512), [512,1024)
+		h.Observe(v)
+	}
+	if got := h.Percentile(0); got != 100 {
+		t.Fatalf("P0 = %v, want observed min 100", got)
+	}
+	if got := h.Percentile(1); got != 900 {
+		t.Fatalf("P100 = %v, want observed max 900", got)
+	}
+}
+
+func TestHistogramResetAndAbsorb(t *testing.T) {
+	var nilH *Histogram
+	nilH.Reset()     // nil-safe no-ops
+	nilH.Absorb(nil) //
+	(&Histogram{}).Absorb(nilH)
+
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 10; i++ {
+		a.Observe(1000)
+		b.Observe(3000)
+	}
+	merged := &Histogram{}
+	merged.Absorb(a)
+	merged.Absorb(b)
+	if merged.Count() != 20 || merged.Sum() != a.Sum()+b.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want 20/%d", merged.Count(), merged.Sum(), a.Sum()+b.Sum())
+	}
+	if merged.MinValue() != 1000 || merged.MaxValue() != 3000 {
+		t.Fatalf("merged min/max = %d/%d, want 1000/3000", merged.MinValue(), merged.MaxValue())
+	}
+	if merged.Percentile(0) != 1000 || merged.Percentile(1) != 3000 {
+		t.Fatalf("merged P0/P100 = %v/%v, want 1000/3000", merged.Percentile(0), merged.Percentile(1))
+	}
+	// Absorbing an empty histogram must not disturb min.
+	merged.Absorb(&Histogram{})
+	if merged.MinValue() != 1000 {
+		t.Fatalf("min after empty absorb = %d, want 1000", merged.MinValue())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Sum() != 0 || a.MinValue() != 0 || a.MaxValue() != 0 || a.Percentile(0.5) != 0 {
+		t.Fatalf("reset histogram not empty: %+v", a)
+	}
+	if got := len(a.Buckets()); got != 0 {
+		t.Fatalf("reset histogram has %d bucket snapshots, want 0", got)
 	}
 }
 

@@ -123,6 +123,7 @@ type Request struct {
 	ID        uint64      `json:"id"`
 	Kind      string      `json:"kind"`
 	Label     string      `json:"label,omitempty"`
+	Tenant    string      `json:"tenant,omitempty"`
 	SubmitPs  int64       `json:"submit_ps"`
 	LatencyPs int64       `json:"latency_ps"`
 	Critical  []Segment   `json:"critical"`
@@ -139,8 +140,17 @@ func (r *Request) reset() {
 	r.Tasks = r.Tasks[:0]
 	r.Critical = r.Critical[:0]
 	r.path = r.path[:0]
-	r.Label = ""
+	r.Label, r.Tenant = "", ""
 	r.SubmitPs, r.completePs, r.LatencyPs = 0, 0, 0
+}
+
+// SetTenant tags the request with a tenant label for SLO accounting. Safe on
+// a nil request.
+func (r *Request) SetTenant(tenant string) {
+	if r == nil {
+		return
+	}
+	r.Tenant = tenant
 }
 
 // TaskSetup declares task index task running on coreID; grows the task
@@ -351,6 +361,15 @@ type Tracer struct {
 
 	free []*Request
 	top  []*Request // latency desc, id asc
+
+	// OnComplete, when non-nil, observes every completed record after its
+	// critical path and latency are final but before the record is pooled or
+	// retained — the SLO engine's feed point. The callback must not hold on
+	// to r (records are pooled).
+	OnComplete func(r *Request)
+	// OnAbort, when non-nil, observes aborted records (failed requests) so
+	// availability objectives can count them as bad events.
+	OnAbort func(r *Request)
 }
 
 // New returns a tracer registering its histograms on sink (a nil sink just
@@ -396,6 +415,9 @@ func (t *Tracer) Abort(r *Request) {
 	if t == nil || r == nil {
 		return
 	}
+	if t.OnAbort != nil {
+		t.OnAbort(r)
+	}
 	t.free = append(t.free, r)
 }
 
@@ -431,6 +453,9 @@ func (t *Tracer) Complete(r *Request, completePs int64) {
 			t.critHists[sg.Class] = h
 		}
 		h.Observe(sg.DurPs)
+	}
+	if t.OnComplete != nil {
+		t.OnComplete(r)
 	}
 	t.retain(r)
 }

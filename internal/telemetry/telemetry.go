@@ -127,6 +127,7 @@ type Histogram struct {
 	buckets [65]int64
 	count   int64
 	sum     int64
+	min     int64
 	max     int64
 }
 
@@ -136,10 +137,43 @@ func (h *Histogram) Observe(v int64) {
 		return
 	}
 	h.buckets[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
 	h.count++
 	h.sum += v
 	if v > h.max {
 		h.max = v
+	}
+}
+
+// Reset clears the histogram back to empty. Rolling-window aggregation
+// reuses ring slots through it without reallocating.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	*h = Histogram{}
+}
+
+// Absorb merges other's samples into h (bucket-wise sum, min of min, max of
+// max). Both nil receiver and nil argument are no-ops; window aggregation
+// folds ring slots into a scratch histogram with it so Percentile works
+// unchanged on the merged distribution.
+func (h *Histogram) Absorb(other *Histogram) {
+	if h == nil || other == nil || other.count == 0 {
+		return
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
 	}
 }
 
@@ -168,9 +202,10 @@ func bucketBounds(i int) (lo, hi float64) {
 // Percentile estimates the q-quantile (q in [0, 1]) of the recorded
 // distribution: it walks the cumulative bucket counts to the bucket holding
 // rank q*count and linearly interpolates inside that bucket's power-of-two
-// value range. The estimate is clamped to the observed maximum, so a
-// single-valued distribution reports that exact value at every quantile.
-// Returns 0 for a nil or empty histogram.
+// value range. The estimate is clamped to the observed [min, max], so q=0
+// returns the smallest observation, q=1 the largest, and a single-valued
+// distribution reports that exact value at every quantile. Returns 0 for a
+// nil or empty histogram.
 func (h *Histogram) Percentile(q float64) float64 {
 	if h == nil || h.count == 0 {
 		return 0
@@ -194,6 +229,9 @@ func (h *Histogram) Percentile(q float64) float64 {
 				frac = 0
 			}
 			v := lo + frac*(hi-lo)
+			if min := float64(h.min); v < min {
+				v = min
+			}
 			if max := float64(h.max); v > max {
 				v = max
 			}
@@ -218,6 +256,14 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum
+}
+
+// MinValue returns the smallest observation (0 when empty).
+func (h *Histogram) MinValue() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
 }
 
 // MaxValue returns the largest observation.
@@ -421,14 +467,6 @@ func (s *Sink) AbsorbMetrics(child *Sink) {
 		dst.set = true
 	}
 	for key, h := range child.hists {
-		dst := s.Histogram(key.component, key.name)
-		for i, n := range h.buckets {
-			dst.buckets[i] += n
-		}
-		dst.count += h.count
-		dst.sum += h.sum
-		if h.max > dst.max {
-			dst.max = h.max
-		}
+		s.Histogram(key.component, key.name).Absorb(h)
 	}
 }

@@ -1,0 +1,198 @@
+package window
+
+import (
+	"testing"
+)
+
+const (
+	ms = int64(1_000_000_000)
+	us = int64(1_000_000)
+)
+
+func TestRotationEvictsOldBuckets(t *testing.T) {
+	w := New(Config{WindowPs: 10 * ms, Buckets: 10}) // 1 ms buckets
+	r := w.Rate("req")
+	for i := int64(0); i < 10; i++ {
+		r.Add(i*ms, 1) // one event per bucket
+	}
+	if got := r.WindowCount(); got != 10 {
+		t.Fatalf("full window count = %d, want 10", got)
+	}
+	// Advancing 3 buckets evicts the 3 oldest.
+	w.Advance(12*ms + 1)
+	if got := r.WindowCount(); got != 7 {
+		t.Fatalf("count after 3 rotations = %d, want 7", got)
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10 (cumulative never resets)", got)
+	}
+	// A gap longer than the window clears everything.
+	w.Advance(100 * ms)
+	if got := r.WindowCount(); got != 0 {
+		t.Fatalf("count after long gap = %d, want 0", got)
+	}
+}
+
+func TestRateLastSpans(t *testing.T) {
+	w := New(Config{WindowPs: 10 * ms, Buckets: 10})
+	r := w.Rate("req")
+	for i := int64(0); i < 10; i++ {
+		r.Add(i*ms, i+1) // bucket i holds i+1 events
+	}
+	// Trailing 3 ms = buckets 7, 8, 9 -> 8+9+10.
+	if got := r.Last(3 * ms); got != 27 {
+		t.Fatalf("Last(3ms) = %d, want 27", got)
+	}
+	// Sub-bucket spans round up to one bucket.
+	if got := r.Last(1); got != 10 {
+		t.Fatalf("Last(1ps) = %d, want 10 (current bucket)", got)
+	}
+	// Oversized spans clamp to the window.
+	if got := r.Last(100 * ms); got != r.WindowCount() {
+		t.Fatalf("Last(100ms) = %d, want %d", got, r.WindowCount())
+	}
+}
+
+func TestHistWindowPercentiles(t *testing.T) {
+	w := New(Config{WindowPs: 10 * ms, Buckets: 10})
+	h := w.Hist("lat")
+	// Old bucket: slow samples that must leave the window.
+	for i := 0; i < 100; i++ {
+		h.Observe(0, 80*us)
+	}
+	// Recent buckets: fast samples.
+	for i := 0; i < 100; i++ {
+		h.Observe(9*ms, 10*us)
+	}
+	win := h.Window()
+	if win.Count() != 200 {
+		t.Fatalf("window count = %d, want 200", win.Count())
+	}
+	if p := win.Percentile(0.99); p != float64(80*us) {
+		t.Fatalf("P99 with slow bucket in window = %v, want %v", p, 80*us)
+	}
+	// Rotate the slow bucket out: the rolling P99 drops, the cumulative
+	// P99 does not.
+	w.Advance(10 * ms)
+	win = h.Window()
+	if win.Count() != 100 {
+		t.Fatalf("window count after eviction = %d, want 100", win.Count())
+	}
+	if p := win.Percentile(0.99); p != float64(10*us) {
+		t.Fatalf("rolling P99 after eviction = %v, want %v", p, 10*us)
+	}
+	if c := h.Cumulative(); c.Count() != 200 || c.Percentile(0.99) != float64(80*us) {
+		t.Fatalf("cumulative count/P99 = %d/%v, want 200/%v", c.Count(), c.Percentile(0.99), 80*us)
+	}
+}
+
+func TestOnRotateBoundaries(t *testing.T) {
+	w := New(Config{WindowPs: 10 * ms, Buckets: 10})
+	var fired []int64
+	w.OnRotate = func(b int64) { fired = append(fired, b) }
+	w.Advance(0) // first tick establishes the clock, no rotation
+	if len(fired) != 0 {
+		t.Fatalf("rotation fired on first tick: %v", fired)
+	}
+	w.Advance(3*ms + 500*us)
+	if len(fired) != 3 || fired[0] != ms || fired[1] != 2*ms || fired[2] != 3*ms {
+		t.Fatalf("boundaries = %v, want [1ms 2ms 3ms]", fired)
+	}
+	// A gap far beyond the window fires at most Buckets callbacks (the
+	// boundaries still inside the new window).
+	fired = nil
+	w.Advance(1000 * ms)
+	if len(fired) != 10 {
+		t.Fatalf("rotations after long gap = %d, want 10", len(fired))
+	}
+	if fired[len(fired)-1] != 1000*ms {
+		t.Fatalf("last boundary = %d, want %d", fired[len(fired)-1], 1000*ms)
+	}
+}
+
+func TestGaugeLastValue(t *testing.T) {
+	w := New(Config{WindowPs: 10 * ms, Buckets: 10})
+	g := w.Gauge("depth")
+	g.Set(ms, 7)
+	g.Set(2*ms, 3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge value = %d, want 3", got)
+	}
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	build := func() *Snapshot {
+		w := New(Config{WindowPs: 10 * ms, Buckets: 10})
+		rb := w.Rate("b")
+		ra := w.Rate("a")
+		h := w.Hist("lat")
+		for i := int64(0); i < 100; i++ {
+			ra.Inc(i * 100 * us)
+			rb.Add(i*100*us, 2)
+			h.Observe(i*100*us, 25*us)
+		}
+		return w.Snapshot(10 * ms)
+	}
+	a, b := build(), build()
+	if a.Rates[0].Name != "a" || a.Rates[1].Name != "b" {
+		t.Fatalf("rates not sorted: %+v", a.Rates)
+	}
+	if a.Rates[0].PerSecond <= 0 {
+		t.Fatalf("per-second rate = %v, want > 0", a.Rates[0].PerSecond)
+	}
+	if len(a.Hists) != 1 || a.Hists[0].P99Ps != float64(25*us) {
+		t.Fatalf("hist snapshot = %+v", a.Hists)
+	}
+	if a.Rates[0] != b.Rates[0] || a.Hists[0] != b.Hists[0] {
+		t.Fatalf("snapshots differ between identical runs:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestNilWindowsZeroCost(t *testing.T) {
+	var w *Windows
+	r := w.Rate("x")
+	g := w.Gauge("y")
+	h := w.Hist("z")
+	if r != nil || g != nil || h != nil {
+		t.Fatal("nil domain must return nil metrics")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Advance(123)
+		r.Add(123, 1)
+		r.Inc(456)
+		g.Set(123, 9)
+		h.Observe(123, 55)
+		_ = r.WindowCount()
+		_ = r.Last(10)
+		_ = r.Total()
+		_ = g.Value()
+		_ = h.Window()
+		_ = h.Cumulative()
+		_ = w.Snapshot(123)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-domain ops allocate %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestWindowTickZeroAlloc pins the enabled steady-state contract driven by
+// the alloc-gate: rotation ticks, counter adds, and histogram observes on a
+// live window domain allocate nothing once constructed.
+func TestWindowTickZeroAlloc(t *testing.T) {
+	w := New(Config{WindowPs: 10 * ms, Buckets: 20})
+	r := w.Rate("req")
+	h := w.Hist("lat")
+	w.OnRotate = func(int64) {
+		_ = r.Last(2 * ms) // a burn-rate-style read at every rotation
+	}
+	now := int64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += 137 * us // crosses bucket boundaries regularly
+		w.Advance(now)
+		r.Inc(now)
+		h.Observe(now, 42*us)
+	})
+	if allocs != 0 {
+		t.Fatalf("window steady state allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -27,5 +27,10 @@ fi
 go test ./internal/firmware/ -run 'TestDataPlaneSteadyStateZeroAlloc|TestReqtraceSteadyStateZeroAlloc' -count 1
 go test ./internal/telemetry/reqtrace/ -run 'TestSteadyStateZeroAlloc|TestNilZeroCost' -count 1
 go test ./internal/cpu/ -run 'TestKProfDisabledZeroAlloc' -count 1
+# The streaming-SLO half of the zero-cost contract: window ticks and
+# rotations allocate nothing in steady state, nil windows are free, and the
+# engine's per-request observation path is allocation-free.
+go test ./internal/telemetry/window/ -run 'TestWindowTickZeroAlloc|TestNilWindowsZeroCost' -count 1
+go test ./internal/telemetry/slo/ -run 'TestObserveRequestZeroAlloc' -count 1
 
 echo "alloc-gate: hot paths are allocation-free"

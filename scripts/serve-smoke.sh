@@ -2,7 +2,9 @@
 # Smoke-test the live observability server: boot assasin-serve on an
 # OS-chosen port, wait for the listen line, probe the health and metrics
 # endpoints while the experiments run, and check that a known counter is
-# exposed in Prometheus text format.
+# exposed in Prometheus text format. A second pass sustains open-loop load
+# with a deliberately tight SLO and asserts /slo + /live serve, the
+# fast-burn alert fires, and SIGTERM drains to a clean exit 0.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +63,48 @@ expect_code GET /runs/run-9999/profile 404
 expect_code GET /runs/run-9999/report 404
 expect_code POST /runs/run-0001/profile 405
 expect_code POST /runs/run-0001/report 405
+# Nothing published the SLO state in a non-load experiment.
+expect_code GET /slo 404
+expect_code GET /live 404
 
 wait "$pid" || { echo "serve-smoke: server failed"; cat "$out"; exit 1; }
+
+# ---- open-loop load pass: live /slo + /live, firing fast-burn alert, ----
+# ---- and graceful SIGTERM drain.                                     ----
+# Full benchmark scale (120k requests over two IO tenants plus the batch
+# offload tenant) still completes in well under a second of wall time. A
+# 1 ns latency objective makes every request bad, so the fast-burn page
+# must fire deterministically. Run without -once so the published state
+# stays queryable after the run, then drain with SIGTERM and require a
+# clean exit 0.
+./assasin-serve-smoke -exp load -log-level info \
+    -slo 'all:99.9:1ns' >"$out" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(grep -o 'http://[0-9.:]*' "$out" | head -1 || true)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: load server exited early"; cat "$out"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: no listen line (load pass)"; cat "$out"; exit 1; }
+echo "serve-smoke: probing $addr under load"
+
+probe /slo '"objectives"'
+probe /slo '"firing": true'
+probe /slo '"rule": "fast-burn"'
+probe /live '"rates"'
+probe /live '"hists"'
+probe /metrics '^assasin_slo_bad_total{objective="all-p99.9",tenant=""} [1-9]'
+probe /metrics '^assasin_slo_alert_firing{objective="all-p99.9",rule="fast-burn",severity="page"} 1$'
+
+kill -TERM "$pid"
+if wait "$pid"; then
+    echo "serve-smoke: graceful drain exit 0"
+else
+    echo "serve-smoke: SIGTERM exit was nonzero"; cat "$out"; exit 1
+fi
+grep -q 'signal received' "$out" || { echo "serve-smoke: no shutdown log line"; cat "$out"; exit 1; }
+
 echo "serve-smoke: OK"
